@@ -1,0 +1,88 @@
+// Experiment E11 — aggregate (COUNT) queries and the metadata shortcut.
+// Regenerates the aggregate-query table: Hadoop scans everything every
+// time; SpatialHadoop reads only the partitions straddling the query
+// boundary and answers fully covered partitions from the master file.
+// Expected shape: the indexed count approaches *zero* I/O both for tiny
+// queries (everything pruned) and for near-complete queries (everything
+// covered) — cost peaks in the middle where the boundary is longest.
+
+#include "bench_common.h"
+#include "core/aggregate_op.h"
+
+namespace shadoop::bench {
+namespace {
+
+constexpr size_t kCount = 400000;
+
+struct CountData {
+  CountData() {
+    WritePoints(&cluster.fs, "/pts", kCount, workload::Distribution::kUniform,
+                42);
+    file = BuildIndex(&cluster.runner, "/pts", "/pts.str",
+                      index::PartitionScheme::kStr);
+    space = file.global_index.Bounds();
+  }
+  BenchCluster cluster;
+  index::SpatialFileInfo file;
+  Envelope space;
+};
+
+CountData& Data() {
+  static CountData* data = new CountData();
+  return *data;
+}
+
+Envelope CenteredQuery(const Envelope& space, int64_t percent) {
+  const double side = std::sqrt(percent / 100.0);
+  const double w = space.Width() * side;
+  const double h = space.Height() * side;
+  const Point c = space.Center();
+  return Envelope(c.x - w / 2, c.y - h / 2, c.x + w / 2, c.y + h / 2);
+}
+
+void BM_CountHadoop(benchmark::State& state) {
+  CountData& data = Data();
+  const Envelope query = CenteredQuery(data.space, state.range(0));
+  for (auto _ : state) {
+    core::OpStats stats;
+    const int64_t count =
+        core::RangeCountHadoop(&data.cluster.runner, "/pts",
+                               index::ShapeType::kPoint, query, &stats)
+            .ValueOrDie();
+    state.counters["count"] = static_cast<double>(count);
+    ReportStats(state, stats);
+  }
+}
+
+void BM_CountSpatial(benchmark::State& state) {
+  CountData& data = Data();
+  const Envelope query = CenteredQuery(data.space, state.range(0));
+  for (auto _ : state) {
+    core::OpStats stats;
+    const int64_t count =
+        core::RangeCountSpatial(&data.cluster.runner, data.file, query,
+                                &stats)
+            .ValueOrDie();
+    state.counters["count"] = static_cast<double>(count);
+    state.counters["metadata_parts"] = static_cast<double>(
+        stats.counters.Get("count.metadata_partitions"));
+    ReportStats(state, stats);
+  }
+}
+
+// Query area as percent of the space.
+const std::vector<int64_t> kPercents = {1, 10, 50, 90, 100};
+
+BENCHMARK(BM_CountHadoop)
+    ->ArgsProduct({{kPercents}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CountSpatial)
+    ->ArgsProduct({{kPercents}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace shadoop::bench
+
+BENCHMARK_MAIN();

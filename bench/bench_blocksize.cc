@@ -1,0 +1,51 @@
+// Experiment E8 — block-size sensitivity. Regenerates the block-size
+// ablation called out in DESIGN.md: sweep the HDFS block size and report
+// index build cost and selective-range-query cost. Expected shape: tiny
+// blocks are task-startup bound (many partitions, many map tasks); huge
+// blocks prune poorly (a selective query still reads a big block); the
+// sweet spot sits in the middle.
+
+#include "bench_common.h"
+#include "core/range_query.h"
+
+namespace shadoop::bench {
+namespace {
+
+void BM_BlockSize(benchmark::State& state) {
+  const size_t block_size = static_cast<size_t>(state.range(0)) * 1024;
+  BenchCluster cluster(block_size);
+  WritePoints(&cluster.fs, "/pts", 150000, workload::Distribution::kClustered,
+              42);
+  const index::SpatialFileInfo file = BuildIndex(
+      &cluster.runner, "/pts", "/pts.str", index::PartitionScheme::kStr);
+  // A selective query (~0.2% of the space).
+  const Envelope space = file.global_index.Bounds();
+  const double w = space.Width() * 0.045;
+  const double h = space.Height() * 0.045;
+  const Envelope query(space.min_x() + space.Width() * 0.4,
+                       space.min_y() + space.Height() * 0.4,
+                       space.min_x() + space.Width() * 0.4 + w,
+                       space.min_y() + space.Height() * 0.4 + h);
+  for (auto _ : state) {
+    core::OpStats stats;
+    auto result =
+        core::RangeQuerySpatial(&cluster.runner, file, query, &stats)
+            .ValueOrDie();
+    benchmark::DoNotOptimize(result);
+    state.counters["build_sim_s"] = file.build_cost.total_ms / 1000.0;
+    state.counters["partitions"] =
+        static_cast<double>(file.global_index.NumPartitions());
+    ReportStats(state, stats);
+  }
+}
+
+// Block size in KiB.
+BENCHMARK(BM_BlockSize)
+    ->ArgsProduct({{4, 16, 64, 256, 1024}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace shadoop::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,221 @@
+// Experiment E6 — computational-geometry operations: traditional
+// single-machine algorithm vs Hadoop vs SpatialHadoop, per operation.
+// Regenerates the CG speedup tables. Expected shape: Hadoop gains come
+// from parallel scanning (about one order of magnitude on these sizes);
+// SpatialHadoop adds partition pruning (skyline/hull) or removes the
+// serial merge entirely (enhanced union), gaining substantially more.
+// The single-machine baseline is costed with the same deterministic
+// model (local scan + algorithm CPU), so the three rows are comparable.
+
+#include <cmath>
+
+#include "bench_common.h"
+#include "core/closest_pair_op.h"
+#include "core/convex_hull_op.h"
+#include "core/farthest_pair_op.h"
+#include "core/skyline_op.h"
+#include "core/union_op.h"
+#include "geometry/closest_pair.h"
+#include "geometry/convex_hull.h"
+#include "geometry/farthest_pair.h"
+#include "geometry/polygon_union.h"
+#include "geometry/skyline.h"
+
+namespace shadoop::bench {
+namespace {
+
+constexpr size_t kPointCount = 300000;
+constexpr size_t kPolygonCount = 4000;
+
+struct CgData {
+  CgData() {
+    WritePoints(&cluster.fs, "/pts", kPointCount,
+                workload::Distribution::kClustered, 42);
+    points_str = BuildIndex(&cluster.runner, "/pts", "/pts.str",
+                            index::PartitionScheme::kStr);
+    points_grid = BuildIndex(&cluster.runner, "/pts", "/pts.grid",
+                             index::PartitionScheme::kGrid);
+    // The farthest-pair worst case: a thin ring puts (nearly) every
+    // point on the convex hull, defeating the hull-based route.
+    WritePoints(&cluster.fs, "/ring", kPointCount,
+                workload::Distribution::kCircular, 42);
+    ring_str = BuildIndex(&cluster.runner, "/ring", "/ring.str",
+                          index::PartitionScheme::kStr);
+    workload::PolygonGenOptions polys;
+    polys.centers.distribution = workload::Distribution::kClustered;
+    polys.centers.count = kPolygonCount;
+    polys.centers.seed = 9;
+    polys.max_radius_fraction = 0.012;
+    SHADOOP_CHECK_OK(workload::WritePolygonFile(&cluster.fs, "/poly", polys));
+    polygons_quad = BuildIndex(&cluster.runner, "/poly", "/poly.quad",
+                               index::PartitionScheme::kQuadTree,
+                               index::ShapeType::kPolygon);
+    points_meta = cluster.fs.GetFileMeta("/pts").ValueOrDie();
+    poly_meta = cluster.fs.GetFileMeta("/poly").ValueOrDie();
+  }
+  BenchCluster cluster;
+  index::SpatialFileInfo points_str, points_grid, polygons_quad, ring_str;
+  hdfs::FileMeta points_meta, poly_meta;
+};
+
+CgData& Data() {
+  static CgData* data = new CgData();
+  return *data;
+}
+
+uint64_t NLogNOps(size_t n, double factor) {
+  return static_cast<uint64_t>(
+      n > 1 ? n * std::log2(static_cast<double>(n)) * factor : n);
+}
+
+// --- Single-machine baselines (really computed, deterministically
+// costed with the shared model) ----------------------------------------
+
+void BM_SkylineSingleMachine(benchmark::State& state) {
+  CgData& data = Data();
+  const auto lines = data.cluster.fs.ReadLines("/pts").ValueOrDie();
+  std::vector<Point> points;
+  for (const auto& line : lines) {
+    points.push_back(index::RecordPoint(line).ValueOrDie());
+  }
+  for (auto _ : state) {
+    auto result = Skyline(points);
+    benchmark::DoNotOptimize(result);
+    state.counters["sim_s"] = SingleMachineSeconds(
+        data.cluster.runner, data.points_meta, NLogNOps(points.size(), 20));
+  }
+}
+
+void BM_ConvexHullSingleMachine(benchmark::State& state) {
+  CgData& data = Data();
+  const auto lines = data.cluster.fs.ReadLines("/pts").ValueOrDie();
+  std::vector<Point> points;
+  for (const auto& line : lines) {
+    points.push_back(index::RecordPoint(line).ValueOrDie());
+  }
+  for (auto _ : state) {
+    auto result = ConvexHull(points);
+    benchmark::DoNotOptimize(result);
+    state.counters["sim_s"] = SingleMachineSeconds(
+        data.cluster.runner, data.points_meta, NLogNOps(points.size(), 20));
+  }
+}
+
+void BM_ClosestPairSingleMachine(benchmark::State& state) {
+  CgData& data = Data();
+  const auto lines = data.cluster.fs.ReadLines("/pts").ValueOrDie();
+  std::vector<Point> points;
+  for (const auto& line : lines) {
+    points.push_back(index::RecordPoint(line).ValueOrDie());
+  }
+  for (auto _ : state) {
+    auto result = ClosestPair(points);
+    benchmark::DoNotOptimize(result);
+    state.counters["sim_s"] = SingleMachineSeconds(
+        data.cluster.runner, data.points_meta, NLogNOps(points.size(), 40));
+  }
+}
+
+void BM_FarthestPairSingleMachine(benchmark::State& state) {
+  CgData& data = Data();
+  const auto lines = data.cluster.fs.ReadLines("/pts").ValueOrDie();
+  std::vector<Point> points;
+  for (const auto& line : lines) {
+    points.push_back(index::RecordPoint(line).ValueOrDie());
+  }
+  for (auto _ : state) {
+    auto result = FarthestPair(points);
+    benchmark::DoNotOptimize(result);
+    state.counters["sim_s"] = SingleMachineSeconds(
+        data.cluster.runner, data.points_meta, NLogNOps(points.size(), 20));
+  }
+}
+
+void BM_UnionSingleMachine(benchmark::State& state) {
+  CgData& data = Data();
+  const auto lines = data.cluster.fs.ReadLines("/poly").ValueOrDie();
+  std::vector<Polygon> polygons;
+  uint64_t edges = 0;
+  for (const auto& line : lines) {
+    polygons.push_back(index::RecordPolygon(line).ValueOrDie());
+    edges += polygons.back().NumVertices();
+  }
+  for (auto _ : state) {
+    auto result = UnionBoundary(polygons);
+    benchmark::DoNotOptimize(result);
+    state.counters["sim_s"] = SingleMachineSeconds(
+        data.cluster.runner, data.poly_meta, edges * edges / 16 + edges * 100);
+  }
+}
+
+// --- Hadoop and SpatialHadoop flavours ---------------------------------
+
+#define CG_DISTRIBUTED_BENCH(name, call)                      \
+  void name(benchmark::State& state) {                        \
+    CgData& data = Data();                                    \
+    for (auto _ : state) {                                    \
+      core::OpStats stats;                                    \
+      auto result = (call).ValueOrDie();                      \
+      benchmark::DoNotOptimize(result);                       \
+      ReportStats(state, stats);                              \
+    }                                                         \
+  }
+
+CG_DISTRIBUTED_BENCH(BM_SkylineHadoop,
+                     core::SkylineHadoop(&data.cluster.runner, "/pts", &stats))
+CG_DISTRIBUTED_BENCH(BM_SkylineSpatial,
+                     core::SkylineSpatial(&data.cluster.runner,
+                                          data.points_str, &stats))
+CG_DISTRIBUTED_BENCH(BM_ConvexHullHadoop,
+                     core::ConvexHullHadoop(&data.cluster.runner, "/pts",
+                                            &stats))
+CG_DISTRIBUTED_BENCH(BM_ConvexHullSpatial,
+                     core::ConvexHullSpatial(&data.cluster.runner,
+                                             data.points_str, &stats))
+CG_DISTRIBUTED_BENCH(BM_ClosestPairSpatial,
+                     core::ClosestPairSpatial(&data.cluster.runner,
+                                              data.points_grid, &stats))
+CG_DISTRIBUTED_BENCH(BM_FarthestPairHadoop,
+                     core::FarthestPairHadoop(&data.cluster.runner, "/pts",
+                                              &stats))
+CG_DISTRIBUTED_BENCH(BM_FarthestPairSpatial,
+                     core::FarthestPairSpatial(&data.cluster.runner,
+                                               data.points_str, &stats))
+// Circular (huge-hull) worst case: the hull-based route degenerates while
+// the pair filter still prunes to near-diametral pairs.
+CG_DISTRIBUTED_BENCH(BM_FarthestPairHadoopCircular,
+                     core::FarthestPairHadoop(&data.cluster.runner, "/ring",
+                                              &stats))
+CG_DISTRIBUTED_BENCH(BM_FarthestPairSpatialCircular,
+                     core::FarthestPairSpatial(&data.cluster.runner,
+                                               data.ring_str, &stats))
+CG_DISTRIBUTED_BENCH(BM_UnionHadoop,
+                     core::UnionHadoop(&data.cluster.runner, "/poly", &stats))
+CG_DISTRIBUTED_BENCH(BM_UnionSpatialEnhanced,
+                     core::UnionSpatialEnhanced(&data.cluster.runner,
+                                                data.polygons_quad, &stats))
+
+#define CG_REGISTER(name) \
+  BENCHMARK(name)->Iterations(1)->Unit(benchmark::kMillisecond)
+
+CG_REGISTER(BM_SkylineSingleMachine);
+CG_REGISTER(BM_SkylineHadoop);
+CG_REGISTER(BM_SkylineSpatial);
+CG_REGISTER(BM_ConvexHullSingleMachine);
+CG_REGISTER(BM_ConvexHullHadoop);
+CG_REGISTER(BM_ConvexHullSpatial);
+CG_REGISTER(BM_ClosestPairSingleMachine);
+CG_REGISTER(BM_ClosestPairSpatial);
+CG_REGISTER(BM_FarthestPairSingleMachine);
+CG_REGISTER(BM_FarthestPairHadoop);
+CG_REGISTER(BM_FarthestPairSpatial);
+CG_REGISTER(BM_FarthestPairHadoopCircular);
+CG_REGISTER(BM_FarthestPairSpatialCircular);
+CG_REGISTER(BM_UnionSingleMachine);
+CG_REGISTER(BM_UnionHadoop);
+CG_REGISTER(BM_UnionSpatialEnhanced);
+
+}  // namespace
+}  // namespace shadoop::bench
+
+BENCHMARK_MAIN();

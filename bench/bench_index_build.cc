@@ -1,0 +1,60 @@
+// Experiment E1 — index building time per partitioning technique.
+// Regenerates the "index construction" table: simulated build time of
+// each technique over uniform and clustered (OSM-like) points as input
+// size grows. Expected shape: grid cheapest (no per-record tree descent,
+// no sample needed), sample-based techniques close behind and all scale
+// near-linearly; all pay the same two-job (analyze + partition) floor.
+
+#include "bench_common.h"
+
+namespace shadoop::bench {
+namespace {
+
+const index::PartitionScheme kSchemes[] = {
+    index::PartitionScheme::kGrid,     index::PartitionScheme::kStr,
+    index::PartitionScheme::kStrPlus,  index::PartitionScheme::kQuadTree,
+    index::PartitionScheme::kKdTree,   index::PartitionScheme::kZCurve,
+    index::PartitionScheme::kHilbert,
+};
+
+void BM_IndexBuild(benchmark::State& state) {
+  const auto scheme = kSchemes[state.range(0)];
+  const size_t count = static_cast<size_t>(state.range(1));
+  const bool skewed = state.range(2) != 0;
+  for (auto _ : state) {
+    BenchCluster cluster;
+    WritePoints(&cluster.fs, "/pts", count,
+                skewed ? workload::Distribution::kClustered
+                       : workload::Distribution::kUniform,
+                42);
+    const index::SpatialFileInfo info =
+        BuildIndex(&cluster.runner, "/pts", "/pts.idx", scheme);
+    state.counters["sim_s"] = info.build_cost.total_ms / 1000.0;
+    state.counters["partitions"] =
+        static_cast<double>(info.global_index.NumPartitions());
+    state.counters["MB_shuffled"] =
+        info.build_cost.bytes_shuffled / 1048576.0;
+  }
+  state.SetLabel(std::string(index::PartitionSchemeName(scheme)) +
+                 (skewed ? "/clustered" : "/uniform"));
+}
+
+void IndexBuildArgs(benchmark::internal::Benchmark* b) {
+  for (int scheme = 0; scheme < 7; ++scheme) {
+    for (int64_t count : {25000, 50000, 100000}) {
+      for (int skew : {0, 1}) {
+        b->Args({scheme, count, skew});
+      }
+    }
+  }
+}
+
+BENCHMARK(BM_IndexBuild)
+    ->Apply(IndexBuildArgs)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace shadoop::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+// Experiment E2 — partition quality per technique. Regenerates the index
+// quality table: partition-count, load balance (max/avg records),
+// replication overhead (stored/input records, rectangles only) and total
+// partition-MBR overlap area. Expected shape: the uniform grid balances
+// only uniform data; STR/K-d balance everything; disjoint techniques pay
+// replication on extended shapes; curve techniques show MBR overlap.
+
+#include "bench_common.h"
+
+namespace shadoop::bench {
+namespace {
+
+const index::PartitionScheme kSchemes[] = {
+    index::PartitionScheme::kGrid,     index::PartitionScheme::kStr,
+    index::PartitionScheme::kStrPlus,  index::PartitionScheme::kQuadTree,
+    index::PartitionScheme::kKdTree,   index::PartitionScheme::kZCurve,
+    index::PartitionScheme::kHilbert,
+};
+
+double MbrOverlapRatio(const index::GlobalIndex& gi) {
+  // Total pairwise overlap area, normalized by the file MBR area.
+  double overlap = 0;
+  const auto& parts = gi.partitions();
+  for (size_t i = 0; i < parts.size(); ++i) {
+    for (size_t j = i + 1; j < parts.size(); ++j) {
+      overlap += parts[i].mbr.Intersection(parts[j].mbr).Area();
+    }
+  }
+  const double total = gi.Bounds().Area();
+  return total > 0 ? overlap / total : 0;
+}
+
+void BM_IndexQuality(benchmark::State& state) {
+  const auto scheme = kSchemes[state.range(0)];
+  const bool rectangles = state.range(1) != 0;
+  for (auto _ : state) {
+    BenchCluster cluster;
+    const size_t count = 60000;
+    index::SpatialFileInfo info;
+    if (rectangles) {
+      WriteRects(&cluster.fs, "/data", count / 3, 7, 0.02);
+      info = BuildIndex(&cluster.runner, "/data", "/data.idx", scheme,
+                        index::ShapeType::kRectangle);
+    } else {
+      WritePoints(&cluster.fs, "/data", count,
+                  workload::Distribution::kClustered, 7);
+      info = BuildIndex(&cluster.runner, "/data", "/data.idx", scheme);
+    }
+    size_t max_records = 0;
+    size_t total_records = 0;
+    for (const index::Partition& p : info.global_index.partitions()) {
+      max_records = std::max(max_records, p.num_records);
+      total_records += p.num_records;
+    }
+    const double parts =
+        static_cast<double>(info.global_index.NumPartitions());
+    state.counters["partitions"] = parts;
+    state.counters["balance"] =
+        max_records / (static_cast<double>(total_records) / parts);
+    state.counters["replication"] =
+        static_cast<double>(total_records) /
+        (rectangles ? count / 3 : count);
+    state.counters["mbr_overlap"] = MbrOverlapRatio(info.global_index);
+  }
+  state.SetLabel(std::string(index::PartitionSchemeName(scheme)) +
+                 (rectangles ? "/rectangles" : "/points"));
+}
+
+BENCHMARK(BM_IndexQuality)
+    ->ArgsProduct({{0, 1, 2, 3, 4, 5, 6}, {0, 1}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace shadoop::bench
+
+BENCHMARK_MAIN();

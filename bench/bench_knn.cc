@@ -1,0 +1,76 @@
+// Experiment E4 — k-nearest-neighbors: Hadoop full scan vs SpatialHadoop
+// iterative pruned search, sweeping k and the input size. Regenerates the
+// kNN figure. Expected shape: the indexed query reads O(1) partitions,
+// so its cost is nearly independent of the input size while the scan
+// grows linearly; growing k only slowly increases the indexed cost
+// (occasionally one extra round).
+
+#include "core/knn.h"
+
+#include "bench_common.h"
+
+namespace shadoop::bench {
+namespace {
+
+struct SizedData {
+  explicit SizedData(size_t count) {
+    WritePoints(&cluster.fs, "/pts", count,
+                workload::Distribution::kClustered, 42);
+    file = BuildIndex(&cluster.runner, "/pts", "/pts.str",
+                      index::PartitionScheme::kStr);
+  }
+  BenchCluster cluster;
+  index::SpatialFileInfo file;
+};
+
+SizedData& DataOfSize(size_t count) {
+  static std::map<size_t, std::unique_ptr<SizedData>>* cache =
+      new std::map<size_t, std::unique_ptr<SizedData>>();
+  auto& slot = (*cache)[count];
+  if (!slot) slot = std::make_unique<SizedData>(count);
+  return *slot;
+}
+
+const Point kQuery(430000, 610000);
+
+void BM_KnnHadoop(benchmark::State& state) {
+  SizedData& data = DataOfSize(static_cast<size_t>(state.range(1)));
+  const size_t k = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    core::OpStats stats;
+    auto result = core::KnnHadoop(&data.cluster.runner, "/pts",
+                                  index::ShapeType::kPoint, kQuery, k, &stats)
+                      .ValueOrDie();
+    benchmark::DoNotOptimize(result);
+    ReportStats(state, stats);
+  }
+}
+
+void BM_KnnSpatial(benchmark::State& state) {
+  SizedData& data = DataOfSize(static_cast<size_t>(state.range(1)));
+  const size_t k = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    core::OpStats stats;
+    auto result =
+        core::KnnSpatial(&data.cluster.runner, data.file, kQuery, k, &stats)
+            .ValueOrDie();
+    benchmark::DoNotOptimize(result);
+    ReportStats(state, stats);
+  }
+}
+
+// Args: {k, dataset size}.
+void KnnArgs(benchmark::internal::Benchmark* b) {
+  for (int64_t k : {1, 10, 100, 1000}) b->Args({k, 200000});
+  for (int64_t n : {50000, 100000, 400000}) b->Args({10, n});
+}
+
+BENCHMARK(BM_KnnHadoop)->Apply(KnnArgs)->Iterations(1)->Unit(
+    benchmark::kMillisecond);
+BENCHMARK(BM_KnnSpatial)->Apply(KnnArgs)->Iterations(1)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace shadoop::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+// Experiment E13 — kNN join (for every record of A, the k nearest of B):
+// the two-round bound-then-verify algorithm over two indexed files,
+// sweeping k and |A|. Expected shape: cost grows mildly with k (wider
+// verify fan-in) and linearly with |A|; the bound round keeps the verify
+// round's reads far below the all-pairs cross product.
+
+#include "bench_common.h"
+#include "core/knn_join.h"
+
+namespace shadoop::bench {
+namespace {
+
+struct KnnJoinData {
+  explicit KnnJoinData(size_t count_a) {
+    WritePoints(&cluster.fs, "/a", count_a,
+                workload::Distribution::kClustered, 5);
+    WritePoints(&cluster.fs, "/b", 60000, workload::Distribution::kClustered,
+                5);
+    a = BuildIndex(&cluster.runner, "/a", "/a.str",
+                   index::PartitionScheme::kStr);
+    b = BuildIndex(&cluster.runner, "/b", "/b.str",
+                   index::PartitionScheme::kStr);
+  }
+  BenchCluster cluster;
+  index::SpatialFileInfo a, b;
+};
+
+KnnJoinData& DataOfSize(size_t count) {
+  static std::map<size_t, std::unique_ptr<KnnJoinData>>* cache =
+      new std::map<size_t, std::unique_ptr<KnnJoinData>>();
+  auto& slot = (*cache)[count];
+  if (!slot) slot = std::make_unique<KnnJoinData>(count);
+  return *slot;
+}
+
+void BM_KnnJoin(benchmark::State& state) {
+  const size_t k = static_cast<size_t>(state.range(0));
+  KnnJoinData& data = DataOfSize(static_cast<size_t>(state.range(1)));
+  for (auto _ : state) {
+    core::OpStats stats;
+    auto answers =
+        core::KnnJoinSpatial(&data.cluster.runner, data.a, data.b, k, &stats)
+            .ValueOrDie();
+    state.counters["results"] = static_cast<double>(answers.size());
+    ReportStats(state, stats);
+  }
+}
+
+// Args: {k, |A|}.
+void KnnJoinArgs(benchmark::internal::Benchmark* b) {
+  for (int64_t k : {1, 4, 16}) b->Args({k, 20000});
+  for (int64_t n : {10000, 40000}) b->Args({4, n});
+}
+
+BENCHMARK(BM_KnnJoin)->Apply(KnnJoinArgs)->Iterations(1)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace shadoop::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,89 @@
+// Experiment E9 — Pigeon language overhead. Regenerates the language-
+// layer table: wall-clock cost of lexing+parsing a realistic script, and
+// the end-to-end comparison of the same range query issued through
+// Pigeon vs the direct C++ API. Expected shape: parse/plan time is
+// microseconds — vanishing against multi-second (simulated) jobs — and
+// both paths produce identical simulated cluster cost.
+
+#include "bench_common.h"
+#include "core/range_query.h"
+#include "pigeon/executor.h"
+#include "pigeon/parser.h"
+
+namespace shadoop::bench {
+namespace {
+
+constexpr const char* kScript = R"(
+  pts = LOAD '/pts' AS POINT;
+  idx = INDEX pts WITH STR INTO '/pts.str2';
+  r1 = RANGE idx RECTANGLE(100000, 100000, 200000, 200000);
+  near = KNN idx POINT(500000, 500000) K 10;
+  sky = SKYLINE idx;
+  STORE r1 INTO '/out1';
+  DUMP near;
+)";
+
+void BM_PigeonParse(benchmark::State& state) {
+  for (auto _ : state) {
+    auto script = pigeon::Parse(kScript);
+    benchmark::DoNotOptimize(script);
+  }
+}
+
+struct PigeonData {
+  PigeonData() {
+    WritePoints(&cluster.fs, "/pts", 80000, workload::Distribution::kClustered,
+                42);
+    file = BuildIndex(&cluster.runner, "/pts", "/pts.str",
+                      index::PartitionScheme::kStr);
+  }
+  BenchCluster cluster;
+  index::SpatialFileInfo file;
+};
+
+PigeonData& Data() {
+  static PigeonData* data = new PigeonData();
+  return *data;
+}
+
+const Envelope kQuery(100000, 100000, 200000, 200000);
+
+// The same unindexed range query issued through both front-ends: the
+// simulated cluster cost must be identical; the Pigeon path adds only
+// parse/plan wall time.
+void BM_RangeViaApi(benchmark::State& state) {
+  PigeonData& data = Data();
+  for (auto _ : state) {
+    core::OpStats stats;
+    auto result = core::RangeQueryHadoop(&data.cluster.runner, "/pts",
+                                         index::ShapeType::kPoint, kQuery,
+                                         &stats)
+                      .ValueOrDie();
+    benchmark::DoNotOptimize(result);
+    ReportStats(state, stats);
+  }
+}
+
+void BM_RangeViaPigeon(benchmark::State& state) {
+  PigeonData& data = Data();
+  for (auto _ : state) {
+    pigeon::Executor executor(&data.cluster.runner);
+    auto report = executor.Execute(
+        "pts = LOAD '/pts' AS POINT;"
+        "r = RANGE pts RECTANGLE(100000, 100000, 200000, 200000);"
+        "DUMP r;");
+    SHADOOP_CHECK_OK(report.status());
+    benchmark::DoNotOptimize(report);
+    state.counters["sim_s"] = report->stats.cost.total_ms / 1000.0;
+    state.counters["jobs"] = static_cast<double>(report->stats.jobs_run);
+  }
+}
+
+BENCHMARK(BM_PigeonParse)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_RangeViaApi)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RangeViaPigeon)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace shadoop::bench
+
+BENCHMARK_MAIN();

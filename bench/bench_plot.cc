@@ -1,0 +1,95 @@
+// Experiment E10 — visualization layer: single-level plotting of the
+// whole file, Hadoop vs SpatialHadoop. Regenerates the plotting table.
+// Expected shape: both scan everything (an image needs every record), but
+// the Hadoop path pays an extra MBR scan job, while the spatially
+// clustered partitions of the indexed path compress the pixel shuffle
+// (each partition touches few rows). The pyramid costs a single job for
+// all zoom levels.
+
+#include "bench_common.h"
+#include "viz/plot.h"
+
+namespace shadoop::bench {
+namespace {
+
+struct PlotData {
+  PlotData() {
+    WritePoints(&cluster.fs, "/pts", 300000,
+                workload::Distribution::kClustered, 42);
+    file = BuildIndex(&cluster.runner, "/pts", "/pts.str",
+                      index::PartitionScheme::kStr);
+  }
+  BenchCluster cluster;
+  index::SpatialFileInfo file;
+};
+
+PlotData& Data() {
+  static PlotData* data = new PlotData();
+  return *data;
+}
+
+viz::PlotOptions OptionsForSize(int64_t pixels) {
+  viz::PlotOptions options;
+  options.width = static_cast<int>(pixels);
+  options.height = static_cast<int>(pixels);
+  return options;
+}
+
+void BM_PlotHadoop(benchmark::State& state) {
+  PlotData& data = Data();
+  for (auto _ : state) {
+    core::OpStats stats;
+    auto canvas =
+        viz::PlotHadoop(&data.cluster.runner, "/pts",
+                        index::ShapeType::kPoint,
+                        OptionsForSize(state.range(0)), &stats)
+            .ValueOrDie();
+    benchmark::DoNotOptimize(canvas);
+    ReportStats(state, stats);
+  }
+}
+
+void BM_PlotSpatial(benchmark::State& state) {
+  PlotData& data = Data();
+  for (auto _ : state) {
+    core::OpStats stats;
+    auto canvas = viz::PlotSpatial(&data.cluster.runner, data.file,
+                                   OptionsForSize(state.range(0)), &stats)
+                      .ValueOrDie();
+    benchmark::DoNotOptimize(canvas);
+    ReportStats(state, stats);
+  }
+}
+
+void BM_PlotPyramid(benchmark::State& state) {
+  PlotData& data = Data();
+  for (auto _ : state) {
+    core::OpStats stats;
+    viz::PyramidOptions options;
+    options.tile_size = 256;
+    options.num_levels = static_cast<int>(state.range(0));
+    auto tiles = viz::PlotPyramid(&data.cluster.runner, data.file, options,
+                                  "", &stats)
+                     .ValueOrDie();
+    state.counters["tiles"] = static_cast<double>(tiles.size());
+    ReportStats(state, stats);
+  }
+}
+
+BENCHMARK(BM_PlotHadoop)
+    ->ArgsProduct({{256, 512, 1024}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PlotSpatial)
+    ->ArgsProduct({{256, 512, 1024}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PlotPyramid)
+    ->ArgsProduct({{1, 3, 5}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace shadoop::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+// Experiment E3 — range query: Hadoop full scan vs SpatialHadoop indexed,
+// sweeping the query area from 0.01% to 100% of the space. Regenerates
+// the range-query figure. Expected shape: the indexed query cost is
+// roughly flat and far below the scan at small areas (it touches O(1)
+// partitions), and converges to the scan as the query covers the file —
+// the crossover the paper reports.
+
+#include "core/range_query.h"
+
+#include "bench_common.h"
+
+namespace shadoop::bench {
+namespace {
+
+constexpr size_t kCount = 500000;
+
+struct SharedData {
+  SharedData() : cluster() {
+    WritePoints(&cluster.fs, "/pts", kCount,
+                workload::Distribution::kUniform, 42);
+    file = BuildIndex(&cluster.runner, "/pts", "/pts.str",
+                      index::PartitionScheme::kStr);
+    space = file.global_index.Bounds();
+  }
+  BenchCluster cluster;
+  index::SpatialFileInfo file;
+  Envelope space;
+};
+
+SharedData& Shared() {
+  static SharedData* data = new SharedData();
+  return *data;
+}
+
+Envelope QueryForAreaPermyriad(const Envelope& space, int64_t permyriad) {
+  // A square query of the given area fraction, anchored off-center so it
+  // does not straddle every partition boundary symmetrically.
+  const double frac = permyriad / 10000.0;
+  const double side = std::sqrt(frac);
+  const double w = space.Width() * side;
+  const double h = space.Height() * side;
+  const double x =
+      space.min_x() + (space.Width() - w) * 0.37;
+  const double y = space.min_y() + (space.Height() - h) * 0.59;
+  return Envelope(x, y, x + w, y + h);
+}
+
+void BM_RangeHadoop(benchmark::State& state) {
+  SharedData& data = Shared();
+  const Envelope query = QueryForAreaPermyriad(data.space, state.range(0));
+  for (auto _ : state) {
+    core::OpStats stats;
+    auto result = core::RangeQueryHadoop(&data.cluster.runner, "/pts",
+                                         index::ShapeType::kPoint, query,
+                                         &stats)
+                      .ValueOrDie();
+    state.counters["results"] = static_cast<double>(result.size());
+    ReportStats(state, stats);
+  }
+}
+
+void BM_RangeSpatial(benchmark::State& state) {
+  SharedData& data = Shared();
+  const Envelope query = QueryForAreaPermyriad(data.space, state.range(0));
+  for (auto _ : state) {
+    core::OpStats stats;
+    auto result =
+        core::RangeQuerySpatial(&data.cluster.runner, data.file, query, &stats)
+            .ValueOrDie();
+    state.counters["results"] = static_cast<double>(result.size());
+    ReportStats(state, stats);
+  }
+}
+
+// Query area in 1/10000 of the space: 0.01% .. 100%.
+const std::vector<int64_t> kAreas = {1, 10, 100, 500, 2000, 10000};
+
+BENCHMARK(BM_RangeHadoop)
+    ->ArgsProduct({{kAreas}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RangeSpatial)
+    ->ArgsProduct({{kAreas}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace shadoop::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,81 @@
+// Experiment E7 — cluster scale-out: fixed work, sweeping the number of
+// worker slots from 1 to 32. Regenerates the speedup figure. Expected
+// shape: near-linear speedup while there are more tasks than slots, then
+// a plateau set by task granularity and the serial fractions (job
+// startup, single-reducer merge).
+
+#include "bench_common.h"
+#include "core/range_query.h"
+#include "core/skyline_op.h"
+#include "core/spatial_join.h"
+
+namespace shadoop::bench {
+namespace {
+
+void BM_ScanScaleout(benchmark::State& state) {
+  const int slots = static_cast<int>(state.range(0));
+  BenchCluster cluster(64 * 1024, slots);
+  WritePoints(&cluster.fs, "/pts", 300000, workload::Distribution::kUniform,
+              42);
+  // A near-full-space range query: pure parallel scan work.
+  const Envelope query(0, 0, 9e5, 9e5);
+  for (auto _ : state) {
+    core::OpStats stats;
+    auto result = core::RangeQueryHadoop(&cluster.runner, "/pts",
+                                         index::ShapeType::kPoint, query,
+                                         &stats)
+                      .ValueOrDie();
+    benchmark::DoNotOptimize(result);
+    ReportStats(state, stats);
+  }
+}
+
+void BM_JoinScaleout(benchmark::State& state) {
+  const int slots = static_cast<int>(state.range(0));
+  BenchCluster cluster(64 * 1024, slots);
+  WriteRects(&cluster.fs, "/a", 20000, 5, 0.008);
+  WriteRects(&cluster.fs, "/b", 15000, 6, 0.008);
+  const auto a = BuildIndex(&cluster.runner, "/a", "/a.str",
+                            index::PartitionScheme::kStr,
+                            index::ShapeType::kRectangle);
+  const auto b = BuildIndex(&cluster.runner, "/b", "/b.str",
+                            index::PartitionScheme::kStr,
+                            index::ShapeType::kRectangle);
+  for (auto _ : state) {
+    core::OpStats stats;
+    auto result =
+        core::DistributedJoin(&cluster.runner, a, b, &stats).ValueOrDie();
+    benchmark::DoNotOptimize(result);
+    ReportStats(state, stats);
+  }
+}
+
+void BM_SkylineScaleout(benchmark::State& state) {
+  const int slots = static_cast<int>(state.range(0));
+  BenchCluster cluster(64 * 1024, slots);
+  WritePoints(&cluster.fs, "/pts", 300000,
+              workload::Distribution::kAntiCorrelated, 42);
+  for (auto _ : state) {
+    core::OpStats stats;
+    auto result =
+        core::SkylineHadoop(&cluster.runner, "/pts", &stats).ValueOrDie();
+    benchmark::DoNotOptimize(result);
+    ReportStats(state, stats);
+  }
+}
+
+const std::vector<int64_t> kSlots = {1, 2, 4, 8, 16, 32};
+
+BENCHMARK(BM_ScanScaleout)->ArgsProduct({{kSlots}})->Iterations(1)->Unit(
+    benchmark::kMillisecond);
+BENCHMARK(BM_JoinScaleout)->ArgsProduct({{kSlots}})->Iterations(1)->Unit(
+    benchmark::kMillisecond);
+BENCHMARK(BM_SkylineScaleout)
+    ->ArgsProduct({{kSlots}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace shadoop::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+// Experiment E5 — spatial join: SJMR (unindexed Hadoop baseline, full
+// repartition) vs the distributed join DJ (both inputs indexed, map-only).
+// Regenerates the join table over growing inputs. Expected shape: DJ
+// wins, and the factor grows with input size because SJMR shuffles every
+// record (plus two MBR pre-scans) while DJ shuffles nothing.
+
+#include "core/spatial_join.h"
+
+#include "bench_common.h"
+
+namespace shadoop::bench {
+namespace {
+
+struct JoinData {
+  explicit JoinData(size_t count) {
+    WriteRects(&cluster.fs, "/a", count, 5, 0.008);
+    WriteRects(&cluster.fs, "/b", count * 3 / 4, 6, 0.008);
+    a_str = BuildIndex(&cluster.runner, "/a", "/a.str",
+                       index::PartitionScheme::kStr,
+                       index::ShapeType::kRectangle);
+    b_str = BuildIndex(&cluster.runner, "/b", "/b.str",
+                       index::PartitionScheme::kStr,
+                       index::ShapeType::kRectangle);
+    a_quad = BuildIndex(&cluster.runner, "/a", "/a.quad",
+                        index::PartitionScheme::kQuadTree,
+                        index::ShapeType::kRectangle);
+    b_quad = BuildIndex(&cluster.runner, "/b", "/b.quad",
+                        index::PartitionScheme::kQuadTree,
+                        index::ShapeType::kRectangle);
+  }
+  BenchCluster cluster;
+  index::SpatialFileInfo a_str, b_str, a_quad, b_quad;
+};
+
+JoinData& DataOfSize(size_t count) {
+  static std::map<size_t, std::unique_ptr<JoinData>>* cache =
+      new std::map<size_t, std::unique_ptr<JoinData>>();
+  auto& slot = (*cache)[count];
+  if (!slot) slot = std::make_unique<JoinData>(count);
+  return *slot;
+}
+
+void BM_JoinSjmr(benchmark::State& state) {
+  JoinData& data = DataOfSize(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    core::OpStats stats;
+    auto result =
+        core::SjmrJoin(&data.cluster.runner, "/a",
+                       index::ShapeType::kRectangle, "/b",
+                       index::ShapeType::kRectangle, &stats)
+            .ValueOrDie();
+    state.counters["results"] = static_cast<double>(result.size());
+    ReportStats(state, stats);
+  }
+}
+
+void BM_JoinDjStr(benchmark::State& state) {
+  JoinData& data = DataOfSize(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    core::OpStats stats;
+    auto result = core::DistributedJoin(&data.cluster.runner, data.a_str,
+                                        data.b_str, &stats)
+                      .ValueOrDie();
+    state.counters["results"] = static_cast<double>(result.size());
+    ReportStats(state, stats);
+  }
+}
+
+void BM_JoinDjQuadTree(benchmark::State& state) {
+  JoinData& data = DataOfSize(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    core::OpStats stats;
+    auto result = core::DistributedJoin(&data.cluster.runner, data.a_quad,
+                                        data.b_quad, &stats)
+                      .ValueOrDie();
+    state.counters["results"] = static_cast<double>(result.size());
+    ReportStats(state, stats);
+  }
+}
+
+const std::vector<int64_t> kSizes = {20000, 40000, 80000};
+
+BENCHMARK(BM_JoinSjmr)->ArgsProduct({{kSizes}})->Iterations(1)->Unit(
+    benchmark::kMillisecond);
+BENCHMARK(BM_JoinDjStr)->ArgsProduct({{kSizes}})->Iterations(1)->Unit(
+    benchmark::kMillisecond);
+BENCHMARK(BM_JoinDjQuadTree)
+    ->ArgsProduct({{kSizes}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace shadoop::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,200 @@
+// shadoop_shell: an interactive SpatialHadoop session — the analogue of
+// the SIGMOD'14 demo. Pigeon statements execute against an in-process
+// cluster; '!' meta-commands manage the simulated HDFS and generate data.
+//
+//   $ ./build/examples/shadoop_shell
+//   shadoop> !gen points 50000 clustered /pts
+//   shadoop> idx = INDEX (LOAD?) ...            -- Pigeon statements
+//   shadoop> pts = LOAD '/pts' AS POINT;
+//   shadoop> i = INDEX pts WITH STR INTO '/pts.str';
+//   shadoop> c = COUNT i RECTANGLE(0, 0, 500000, 500000); DUMP c;
+//   shadoop> !ls /
+//   shadoop> !stats
+//   shadoop> !quit
+//
+// Also scriptable: `./shadoop_shell < session.txt`.
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/string_util.h"
+#include "hdfs/file_system.h"
+#include "mapreduce/job_runner.h"
+#include "pigeon/executor.h"
+#include "workload/generators.h"
+
+using namespace shadoop;
+
+namespace {
+
+void PrintHelp() {
+  std::printf(
+      "Meta commands:\n"
+      "  !gen (points|rects|polygons) <count> <distribution> <path>\n"
+      "       distributions: uniform gaussian correlated anticorrelated\n"
+      "                      circular clustered\n"
+      "  !ls [prefix]           list files\n"
+      "  !cat <path> [n]        print the first n (default 10) records\n"
+      "  !rm <path>             delete a file\n"
+      "  !stats                 cumulative cluster statistics\n"
+      "  !help                  this text\n"
+      "  !quit                  exit\n"
+      "Anything else is Pigeon; statements run when a ';' ends the "
+      "buffer.\n"
+      "  LOAD LOADINDEX INDEX RANGE COUNT KNN SJOIN SKYLINE CONVEXHULL\n"
+      "  CLOSESTPAIR FARTHESTPAIR UNION STORE DUMP\n");
+}
+
+struct Shell {
+  hdfs::FileSystem fs;
+  mapreduce::JobRunner runner;
+  pigeon::Executor executor;
+  core::OpStats total;
+
+  Shell()
+      : fs(MakeConfig()), runner(&fs), executor(&runner) {}
+
+  static hdfs::HdfsConfig MakeConfig() {
+    hdfs::HdfsConfig config;
+    config.block_size = 32 * 1024;
+    return config;
+  }
+
+  void Generate(const std::vector<std::string_view>& args) {
+    if (args.size() != 5) {
+      std::printf("usage: !gen (points|rects|polygons) <count> <dist> "
+                  "<path>\n");
+      return;
+    }
+    auto count = ParseInt64(args[2]);
+    auto dist = workload::ParseDistribution(std::string(args[3]));
+    if (!count.ok() || count.value() <= 0 || !dist.ok()) {
+      std::printf("bad count or distribution\n");
+      return;
+    }
+    const std::string path(args[4]);
+    workload::PointGenOptions centers;
+    centers.count = static_cast<size_t>(count.value());
+    centers.distribution = dist.value();
+    centers.seed = 20140622;
+    Status status;
+    if (args[1] == "points") {
+      status = workload::WritePointFile(&fs, path, centers);
+    } else if (args[1] == "rects") {
+      workload::RectGenOptions options;
+      options.centers = centers;
+      status = workload::WriteRectangleFile(&fs, path, options);
+    } else if (args[1] == "polygons") {
+      workload::PolygonGenOptions options;
+      options.centers = centers;
+      status = workload::WritePolygonFile(&fs, path, options);
+    } else {
+      std::printf("unknown kind '%s'\n", std::string(args[1]).c_str());
+      return;
+    }
+    if (!status.ok()) {
+      std::printf("error: %s\n", status.ToString().c_str());
+      return;
+    }
+    std::printf("generated %lld %s records into %s (%zu blocks)\n",
+                static_cast<long long>(count.value()),
+                std::string(args[1]).c_str(), path.c_str(),
+                fs.GetFileMeta(path).ValueOrDie().blocks.size());
+  }
+
+  void Meta(const std::string& line) {
+    const auto args = SplitWhitespace(line);
+    if (args.empty()) return;
+    if (args[0] == "!help") {
+      PrintHelp();
+    } else if (args[0] == "!gen") {
+      Generate(args);
+    } else if (args[0] == "!ls") {
+      const std::string prefix = args.size() > 1 ? std::string(args[1]) : "";
+      for (const std::string& path : fs.ListFiles(prefix)) {
+        const auto meta = fs.GetFileMeta(path).ValueOrDie();
+        std::printf("%10zu records %6zu KiB  %s\n", meta.total_records,
+                    meta.total_bytes / 1024, path.c_str());
+      }
+    } else if (args[0] == "!cat" && args.size() >= 2) {
+      auto lines = fs.ReadLines(std::string(args[1]));
+      if (!lines.ok()) {
+        std::printf("error: %s\n", lines.status().ToString().c_str());
+        return;
+      }
+      size_t n = 10;
+      if (args.size() > 2) {
+        auto parsed = ParseInt64(args[2]);
+        if (parsed.ok() && parsed.value() > 0) {
+          n = static_cast<size_t>(parsed.value());
+        }
+      }
+      for (size_t i = 0; i < lines->size() && i < n; ++i) {
+        std::printf("%s\n", (*lines)[i].c_str());
+      }
+    } else if (args[0] == "!rm" && args.size() == 2) {
+      Status status = fs.Delete(std::string(args[1]));
+      std::printf("%s\n", status.ok() ? "deleted" : status.ToString().c_str());
+    } else if (args[0] == "!stats") {
+      std::printf(
+          "cumulative: %d jobs, %.1f s simulated cluster time, "
+          "%.2f MiB read, %.2f MiB shuffled\n",
+          total.jobs_run, total.cost.total_ms / 1000.0,
+          total.cost.bytes_read / 1048576.0,
+          total.cost.bytes_shuffled / 1048576.0);
+    } else {
+      std::printf("unknown meta command (try !help)\n");
+    }
+  }
+
+  void RunPigeon(const std::string& script) {
+    auto report = executor.Execute(script);
+    if (!report.ok()) {
+      std::printf("error: %s\n", report.status().ToString().c_str());
+      return;
+    }
+    for (const std::string& line : report->dump_output) {
+      std::printf("%s\n", line.c_str());
+    }
+    total.jobs_run += report->stats.jobs_run;
+    total.cost.total_ms += report->stats.cost.total_ms;
+    total.cost.bytes_read += report->stats.cost.bytes_read;
+    total.cost.bytes_shuffled += report->stats.cost.bytes_shuffled;
+    if (report->stats.jobs_run > 0) {
+      std::printf("(%d job(s), %.1f s simulated)\n", report->stats.jobs_run,
+                  report->stats.cost.total_ms / 1000.0);
+    }
+  }
+};
+
+}  // namespace
+
+int main() {
+  Shell shell;
+  std::printf("SpatialHadoop shell — !help for commands\n");
+  std::string buffer;
+  std::string line;
+  for (;;) {
+    std::printf(buffer.empty() ? "shadoop> " : "     ...> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    const std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty()) continue;
+    if (stripped[0] == '!') {
+      if (stripped == "!quit" || stripped == "!exit") break;
+      shell.Meta(std::string(stripped));
+      continue;
+    }
+    buffer += line;
+    buffer += "\n";
+    // Execute once the buffer ends with a statement terminator.
+    if (StripWhitespace(buffer).back() == ';') {
+      shell.RunPigeon(buffer);
+      buffer.clear();
+    }
+  }
+  std::printf("\nbye\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+#ifndef SHADOOP_COMMON_RESULT_H_
+#define SHADOOP_COMMON_RESULT_H_
+
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace shadoop {
+
+/// Value-or-error wrapper in the style of arrow::Result. A `Result<T>`
+/// holds either a `T` or a non-OK `Status`; constructing one from an OK
+/// status is an internal error (a function that succeeded must produce a
+/// value).
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value and from Status, so `return value;` and
+  /// `return Status::...;` both work inside functions returning Result<T>.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(repr_).ok()) {
+      internal_status::AbortWith(
+          Status::Internal("Result constructed from OK status"));
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(repr_);
+  }
+
+  /// Access to the value. Must only be called when ok().
+  T& value() & { return std::get<T>(repr_); }
+  const T& value() const& { return std::get<T>(repr_); }
+  T&& value() && { return std::get<T>(std::move(repr_)); }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Returns the value or aborts with the stored error. For tests and
+  /// examples where the failure is a bug, not an expected condition.
+  T ValueOrDie() && {
+    if (!ok()) internal_status::AbortWith(status());
+    return std::get<T>(std::move(repr_));
+  }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+/// Evaluates `expr` (a Result<T>) and either assigns its value to `lhs` or
+/// returns its error status from the enclosing function.
+#define SHADOOP_ASSIGN_OR_RETURN(lhs, expr)                 \
+  SHADOOP_ASSIGN_OR_RETURN_IMPL_(                           \
+      SHADOOP_CONCAT_(_result_, __LINE__), lhs, expr)
+
+#define SHADOOP_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                   \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).value()
+
+#define SHADOOP_CONCAT_(a, b) SHADOOP_CONCAT_IMPL_(a, b)
+#define SHADOOP_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace shadoop
+
+#endif  // SHADOOP_COMMON_RESULT_H_

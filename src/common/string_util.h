@@ -1,0 +1,40 @@
+#ifndef SHADOOP_COMMON_STRING_UTIL_H_
+#define SHADOOP_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace shadoop {
+
+/// Splits `text` on `sep`, keeping empty fields (CSV semantics).
+std::vector<std::string_view> SplitString(std::string_view text, char sep);
+
+/// Splits on runs of ASCII whitespace, dropping empty fields.
+std::vector<std::string_view> SplitWhitespace(std::string_view text);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+/// Joins `parts` with `sep`.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep);
+
+/// Locale-independent numeric parsing; errors carry the offending text.
+Result<double> ParseDouble(std::string_view text);
+Result<int64_t> ParseInt64(std::string_view text);
+
+/// Formats a double with enough digits to round-trip (shortest-exact).
+std::string FormatDouble(double value);
+
+/// True if `text` starts with `prefix` (ASCII case-insensitive).
+bool StartsWithIgnoreCase(std::string_view text, std::string_view prefix);
+
+/// ASCII upper-casing (for keyword normalization in the Pigeon parser).
+std::string AsciiToUpper(std::string_view text);
+
+}  // namespace shadoop
+
+#endif  // SHADOOP_COMMON_STRING_UTIL_H_

@@ -1,0 +1,160 @@
+#include "core/aggregate_op.h"
+
+#include <memory>
+
+#include "common/string_util.h"
+#include "core/spatial_file_splitter.h"
+
+namespace shadoop::core {
+namespace {
+
+using mapreduce::JobConfig;
+using mapreduce::JobResult;
+using mapreduce::MapContext;
+
+/// Counts matching records in one split, with optional reference-point
+/// deduplication (same rule as the range query).
+class CountMapper : public mapreduce::Mapper {
+ public:
+  CountMapper(index::ShapeType shape, Envelope query, bool deduplicate)
+      : shape_(shape), query_(query), deduplicate_(deduplicate) {}
+
+  void BeginSplit(MapContext& ctx) override {
+    count_ = 0;
+    have_extent_ = false;
+    if (deduplicate_) {
+      auto extent = ParseSplitExtent(ctx.split().meta);
+      if (!extent.ok()) {
+        ctx.Fail(extent.status());
+        return;
+      }
+      extent_ = extent.value();
+      have_extent_ = true;
+    }
+  }
+
+  void Map(const std::string& record, MapContext& ctx) override {
+    if (index::IsMetadataRecord(record)) return;
+    auto env = index::RecordEnvelope(shape_, record);
+    if (!env.ok()) {
+      ctx.counters().Increment("count.bad_records");
+      return;
+    }
+    if (!env.value().Intersects(query_)) return;
+    if (have_extent_) {
+      const Point ref = env.value().Intersection(query_).BottomLeft();
+      const bool right = extent_.cell.max_x() >= extent_.file_mbr.max_x();
+      const bool top = extent_.cell.max_y() >= extent_.file_mbr.max_y();
+      if (!extent_.cell.ContainsHalfOpen(ref, right, top)) return;
+    }
+    ++count_;
+  }
+
+  void EndSplit(MapContext& ctx) override {
+    ctx.Emit("C", std::to_string(count_));
+  }
+
+ private:
+  index::ShapeType shape_;
+  Envelope query_;
+  bool deduplicate_;
+  bool have_extent_ = false;
+  SplitExtent extent_;
+  int64_t count_ = 0;
+};
+
+class SumReducer : public mapreduce::Reducer {
+ public:
+  void Reduce(const std::string& key, const std::vector<std::string>& values,
+              mapreduce::ReduceContext& ctx) override {
+    (void)key;
+    int64_t total = 0;
+    for (const std::string& value : values) {
+      auto v = ParseInt64(value);
+      if (!v.ok()) {
+        ctx.Fail(v.status());
+        return;
+      }
+      total += v.value();
+    }
+    ctx.Write(std::to_string(total));
+  }
+};
+
+Result<int64_t> RunCountJob(mapreduce::JobRunner* runner,
+                            std::vector<mapreduce::InputSplit> splits,
+                            index::ShapeType shape, const Envelope& query,
+                            bool deduplicate, OpStats* stats) {
+  if (splits.empty()) return static_cast<int64_t>(0);
+  JobConfig job;
+  job.name = "range-count";
+  job.splits = std::move(splits);
+  job.mapper = [shape, query, deduplicate]() {
+    return std::make_unique<CountMapper>(shape, query, deduplicate);
+  };
+  job.reducer = []() { return std::make_unique<SumReducer>(); };
+  job.num_reducers = 1;
+  JobResult result = runner->Run(job);
+  SHADOOP_RETURN_NOT_OK(result.status);
+  if (stats != nullptr) stats->Accumulate(result);
+  if (result.output.size() != 1) {
+    return Status::Internal("range-count job produced no total");
+  }
+  return ParseInt64(result.output.front());
+}
+
+}  // namespace
+
+Result<int64_t> RangeCountHadoop(mapreduce::JobRunner* runner,
+                                 const std::string& path,
+                                 index::ShapeType shape, const Envelope& query,
+                                 OpStats* stats) {
+  SHADOOP_ASSIGN_OR_RETURN(
+      std::vector<mapreduce::InputSplit> splits,
+      mapreduce::MakeBlockSplits(*runner->file_system(), path));
+  return RunCountJob(runner, std::move(splits), shape, query,
+                     /*deduplicate=*/false, stats);
+}
+
+Result<int64_t> RangeCountSpatial(mapreduce::JobRunner* runner,
+                                  const index::SpatialFileInfo& file,
+                                  const Envelope& query, OpStats* stats) {
+  const index::GlobalIndex& gi = file.global_index;
+  // Replicated storage (extended shapes on a disjoint index) cannot use
+  // the per-partition counts: a record may be counted by several
+  // partitions. Points are stored exactly once everywhere.
+  const bool replicated = gi.IsDisjoint() &&
+                          file.shape != index::ShapeType::kPoint;
+
+  int64_t metadata_count = 0;
+  std::vector<int> boundary;
+  for (const index::Partition& p : gi.partitions()) {
+    if (!p.mbr.Intersects(query)) continue;
+    if (!replicated && query.Contains(p.mbr)) {
+      // Fully covered: answered from the master file, no I/O.
+      metadata_count += static_cast<int64_t>(p.num_records);
+    } else {
+      boundary.push_back(p.id);
+    }
+  }
+  if (stats != nullptr) {
+    stats->counters.Increment("count.metadata_partitions",
+                              static_cast<int64_t>(
+                                  gi.NumPartitions() - boundary.size()));
+    stats->counters.Increment("count.scanned_partitions",
+                              static_cast<int64_t>(boundary.size()));
+  }
+
+  FilterFunction filter = [&boundary](const index::GlobalIndex&) {
+    return boundary;
+  };
+  SHADOOP_ASSIGN_OR_RETURN(std::vector<mapreduce::InputSplit> splits,
+                           SpatialSplits(file, filter));
+  SHADOOP_ASSIGN_OR_RETURN(
+      int64_t scanned_count,
+      RunCountJob(runner, std::move(splits), file.shape, query,
+                  /*deduplicate=*/gi.IsDisjoint(), stats));
+  return metadata_count + scanned_count;
+}
+
+}  // namespace shadoop::core

@@ -1,0 +1,39 @@
+#ifndef SHADOOP_CORE_AGGREGATE_OP_H_
+#define SHADOOP_CORE_AGGREGATE_OP_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "core/op_stats.h"
+#include "geometry/envelope.h"
+#include "index/index_builder.h"
+#include "mapreduce/job_runner.h"
+
+namespace shadoop::core {
+
+/// COUNT of records intersecting `query`.
+///
+/// Hadoop version: a full scan. SpatialHadoop version exploits the global
+/// index twice: partitions disjoint from the query are pruned as usual,
+/// and partitions whose MBR lies *entirely inside* the query are answered
+/// from the master-file record counts without reading a byte — only the
+/// partitions straddling the query boundary spawn map tasks. A highly
+/// selective or a near-complete query can therefore cost zero jobs.
+///
+/// The metadata shortcut needs per-record storage uniqueness; for files
+/// whose records are replicated across partitions (extended shapes on a
+/// disjoint index) the operation falls back to scanning every overlapping
+/// partition with reference-point deduplication.
+Result<int64_t> RangeCountHadoop(mapreduce::JobRunner* runner,
+                                 const std::string& path,
+                                 index::ShapeType shape, const Envelope& query,
+                                 OpStats* stats = nullptr);
+
+Result<int64_t> RangeCountSpatial(mapreduce::JobRunner* runner,
+                                  const index::SpatialFileInfo& file,
+                                  const Envelope& query,
+                                  OpStats* stats = nullptr);
+
+}  // namespace shadoop::core
+
+#endif  // SHADOOP_CORE_AGGREGATE_OP_H_

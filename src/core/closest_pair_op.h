@@ -1,0 +1,28 @@
+#ifndef SHADOOP_CORE_CLOSEST_PAIR_OP_H_
+#define SHADOOP_CORE_CLOSEST_PAIR_OP_H_
+
+#include "common/result.h"
+#include "core/op_stats.h"
+#include "geometry/closest_pair.h"
+#include "index/index_builder.h"
+#include "mapreduce/job_runner.h"
+
+namespace shadoop::core {
+
+/// Closest pair of a point file. Requires a *disjoint* spatial index:
+/// each partition computes its local closest pair (distance δ_i), returns
+/// the pair plus every point within δ_i of its cell boundary (the buffer
+/// pruning step), and one reducer computes the closest pair of the small
+/// surviving set. Correct because a cross-cell global pair must have both
+/// endpoints inside their cells' buffers.
+///
+/// There is deliberately no Hadoop flavour: with random partitioning a
+/// local pruning step is impossible (any point could pair with any other),
+/// which is precisely the paper's argument for spatial partitioning.
+Result<PointPair> ClosestPairSpatial(mapreduce::JobRunner* runner,
+                                     const index::SpatialFileInfo& file,
+                                     OpStats* stats = nullptr);
+
+}  // namespace shadoop::core
+
+#endif  // SHADOOP_CORE_CLOSEST_PAIR_OP_H_

@@ -1,0 +1,134 @@
+#include "core/convex_hull_op.h"
+
+#include <cmath>
+#include <memory>
+#include <set>
+
+#include "core/skyline_op.h"
+#include "core/spatial_file_splitter.h"
+#include "core/spatial_record_reader.h"
+#include "geometry/convex_hull.h"
+#include "geometry/wkt.h"
+
+namespace shadoop::core {
+namespace {
+
+using mapreduce::JobConfig;
+using mapreduce::JobResult;
+using mapreduce::MapContext;
+
+class HullMapper : public mapreduce::Mapper {
+ public:
+  HullMapper() : reader_(index::ShapeType::kPoint) {}
+
+  void Map(const std::string& record, MapContext& ctx) override {
+    (void)ctx;
+    reader_.Add(record);
+  }
+
+  void EndSplit(MapContext& ctx) override {
+    std::vector<Point> points = reader_.Points();
+    const size_t n = points.size();
+    ctx.ChargeCpu(static_cast<uint64_t>(
+        n > 1 ? n * std::log2(static_cast<double>(n)) * 20 : n));
+    for (const Point& p : ConvexHull(std::move(points))) {
+      ctx.Emit("H", PointToCsv(p));
+    }
+    ctx.counters().Increment("hull.bad_records",
+                             static_cast<int64_t>(reader_.bad_records()));
+  }
+
+ private:
+  SpatialRecordReader reader_;
+};
+
+class HullReducer : public mapreduce::Reducer {
+ public:
+  void Reduce(const std::string& key, const std::vector<std::string>& values,
+              mapreduce::ReduceContext& ctx) override {
+    (void)key;
+    std::vector<Point> points;
+    points.reserve(values.size());
+    for (const std::string& value : values) {
+      auto p = ParsePointCsv(value);
+      if (p.ok()) points.push_back(p.value());
+    }
+    const size_t n = points.size();
+    ctx.ChargeCpu(static_cast<uint64_t>(
+        n > 1 ? n * std::log2(static_cast<double>(n)) * 20 : n));
+    for (const Point& p : ConvexHull(std::move(points))) {
+      ctx.Write(PointToCsv(p));
+    }
+  }
+};
+
+Result<std::vector<Point>> RunHullJob(mapreduce::JobRunner* runner,
+                                      std::vector<mapreduce::InputSplit> splits,
+                                      const char* name, OpStats* stats) {
+  // Two-round merge, mirroring the skyline: parallel partial hulls in the
+  // reduce round, final hull of the small survivor set on the master.
+  JobConfig job;
+  job.name = name;
+  job.splits = std::move(splits);
+  job.mapper = []() { return std::make_unique<HullMapper>(); };
+  job.reducer = []() { return std::make_unique<HullReducer>(); };
+  job.num_reducers =
+      std::min<int>(runner->cluster().num_slots,
+                    std::max<int>(1, static_cast<int>(job.splits.size()) / 4));
+  int counter = 0;
+  job.partitioner = [counter](const std::string&, int reducers) mutable {
+    return counter++ % reducers;
+  };
+  JobResult result = runner->Run(job);
+  SHADOOP_RETURN_NOT_OK(result.status);
+  if (stats != nullptr) stats->Accumulate(result);
+  std::vector<Point> candidates;
+  candidates.reserve(result.output.size());
+  for (const std::string& line : result.output) {
+    SHADOOP_ASSIGN_OR_RETURN(Point p, ParsePointCsv(line));
+    candidates.push_back(p);
+  }
+  return ConvexHull(std::move(candidates));
+}
+
+}  // namespace
+
+std::vector<int> ConvexHullPartitionFilter(const index::GlobalIndex& gi) {
+  std::set<int> selected;
+  for (SkylineDominance dir :
+       {SkylineDominance::kMaxMax, SkylineDominance::kMaxMin,
+        SkylineDominance::kMinMax, SkylineDominance::kMinMin}) {
+    for (int id : SkylinePartitionFilter(gi, dir)) selected.insert(id);
+  }
+  return std::vector<int>(selected.begin(), selected.end());
+}
+
+Result<std::vector<Point>> ConvexHullHadoop(mapreduce::JobRunner* runner,
+                                            const std::string& path,
+                                            OpStats* stats) {
+  SHADOOP_ASSIGN_OR_RETURN(
+      std::vector<mapreduce::InputSplit> splits,
+      mapreduce::MakeBlockSplits(*runner->file_system(), path));
+  return RunHullJob(runner, std::move(splits), "convex-hull-hadoop", stats);
+}
+
+Result<std::vector<Point>> ConvexHullSpatial(mapreduce::JobRunner* runner,
+                                             const index::SpatialFileInfo& file,
+                                             OpStats* stats) {
+  SHADOOP_ASSIGN_OR_RETURN(
+      std::vector<mapreduce::InputSplit> splits,
+      SpatialSplits(file, [](const index::GlobalIndex& gi) {
+        return ConvexHullPartitionFilter(gi);
+      }));
+  if (stats != nullptr) {
+    stats->counters.Increment("hull.partitions_processed",
+                              static_cast<int64_t>(splits.size()));
+    stats->counters.Increment(
+        "hull.partitions_pruned",
+        static_cast<int64_t>(file.global_index.NumPartitions() -
+                             splits.size()));
+  }
+  return RunHullJob(runner, std::move(splits), "convex-hull-spatial", stats);
+}
+
+}  // namespace shadoop::core

@@ -1,0 +1,36 @@
+#ifndef SHADOOP_CORE_CONVEX_HULL_OP_H_
+#define SHADOOP_CORE_CONVEX_HULL_OP_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/op_stats.h"
+#include "geometry/point.h"
+#include "index/global_index.h"
+#include "index/index_builder.h"
+#include "mapreduce/job_runner.h"
+
+namespace shadoop::core {
+
+/// Convex hull of a point file, returned in counter-clockwise order.
+///
+/// Hadoop version: each split computes its local hull; one reducer hulls
+/// the union of local hulls. SpatialHadoop version first applies the
+/// hull partition filter: a point on the global hull must be on one of
+/// the four skylines of the dataset, so only partitions surviving at
+/// least one of the four dominance filters are read.
+Result<std::vector<Point>> ConvexHullHadoop(mapreduce::JobRunner* runner,
+                                            const std::string& path,
+                                            OpStats* stats = nullptr);
+
+Result<std::vector<Point>> ConvexHullSpatial(
+    mapreduce::JobRunner* runner, const index::SpatialFileInfo& file,
+    OpStats* stats = nullptr);
+
+/// Union of the four per-direction skyline filters.
+std::vector<int> ConvexHullPartitionFilter(const index::GlobalIndex& gi);
+
+}  // namespace shadoop::core
+
+#endif  // SHADOOP_CORE_CONVEX_HULL_OP_H_

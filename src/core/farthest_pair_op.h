@@ -1,0 +1,41 @@
+#ifndef SHADOOP_CORE_FARTHEST_PAIR_OP_H_
+#define SHADOOP_CORE_FARTHEST_PAIR_OP_H_
+
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "core/op_stats.h"
+#include "geometry/closest_pair.h"
+#include "index/global_index.h"
+#include "index/index_builder.h"
+#include "mapreduce/job_runner.h"
+
+namespace shadoop::core {
+
+/// Farthest pair (diameter) of a point file.
+///
+/// Hadoop version: distributed convex hull, then rotating calipers over
+/// the (small) hull on the master. SpatialHadoop version: the pair filter
+/// prunes every partition pair whose upper bound (max MBR-to-MBR
+/// distance) is below the greatest lower bound over all pairs; each
+/// surviving pair is one map task running hull + calipers locally.
+Result<PointPair> FarthestPairHadoop(mapreduce::JobRunner* runner,
+                                     const std::string& path,
+                                     OpStats* stats = nullptr);
+
+Result<PointPair> FarthestPairSpatial(mapreduce::JobRunner* runner,
+                                      const index::SpatialFileInfo& file,
+                                      OpStats* stats = nullptr);
+
+/// The two-pass pair filter (exposed for tests). Pass 1 computes the
+/// greatest lower bound (GLB): because partition MBRs are minimal, each
+/// pair of MBRs guarantees a real pair at least as far apart as the
+/// larger of its horizontal/vertical side separations. Pass 2 keeps the
+/// pairs whose upper bound reaches the GLB.
+std::vector<std::pair<int, int>> FarthestPairPartitionFilter(
+    const index::GlobalIndex& gi);
+
+}  // namespace shadoop::core
+
+#endif  // SHADOOP_CORE_FARTHEST_PAIR_OP_H_

@@ -1,0 +1,57 @@
+#include "core/file_mbr.h"
+
+#include <memory>
+
+#include "geometry/wkt.h"
+
+namespace shadoop::core {
+namespace {
+
+class MbrMapper : public mapreduce::Mapper {
+ public:
+  explicit MbrMapper(index::ShapeType shape) : shape_(shape) {}
+
+  void Map(const std::string& record, mapreduce::MapContext& ctx) override {
+    if (index::IsMetadataRecord(record)) return;
+    auto env = index::RecordEnvelope(shape_, record);
+    if (!env.ok()) {
+      ctx.counters().Increment("mbr.bad_records");
+      return;
+    }
+    mbr_.ExpandToInclude(env.value());
+  }
+
+  void EndSplit(mapreduce::MapContext& ctx) override {
+    if (!mbr_.IsEmpty()) ctx.WriteOutput(EnvelopeToCsv(mbr_));
+  }
+
+ private:
+  index::ShapeType shape_;
+  Envelope mbr_;
+};
+
+}  // namespace
+
+Result<Envelope> ComputeFileMbr(mapreduce::JobRunner* runner,
+                                const std::string& path,
+                                index::ShapeType shape, OpStats* stats) {
+  mapreduce::JobConfig job;
+  job.name = "compute-mbr";
+  SHADOOP_ASSIGN_OR_RETURN(
+      job.splits, mapreduce::MakeBlockSplits(*runner->file_system(), path));
+  job.mapper = [shape]() { return std::make_unique<MbrMapper>(shape); };
+  mapreduce::JobResult result = runner->Run(job);
+  SHADOOP_RETURN_NOT_OK(result.status);
+  if (stats != nullptr) stats->Accumulate(result);
+  Envelope mbr;
+  for (const std::string& line : result.output) {
+    SHADOOP_ASSIGN_OR_RETURN(Envelope e, ParseEnvelopeCsv(line));
+    mbr.ExpandToInclude(e);
+  }
+  if (mbr.IsEmpty()) {
+    return Status::InvalidArgument("file '" + path + "' has no valid records");
+  }
+  return mbr;
+}
+
+}  // namespace shadoop::core

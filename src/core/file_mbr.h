@@ -1,0 +1,25 @@
+#ifndef SHADOOP_CORE_FILE_MBR_H_
+#define SHADOOP_CORE_FILE_MBR_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "core/op_stats.h"
+#include "geometry/envelope.h"
+#include "index/record_shape.h"
+#include "mapreduce/job_runner.h"
+
+namespace shadoop::core {
+
+/// Computes the MBR of an unindexed file with one scan job (indexed files
+/// get it for free from the global index). Several Hadoop-baseline
+/// operations (SJMR, kNN bounds) need this as a preprocessing step — part
+/// of why the unindexed baselines lose.
+Result<Envelope> ComputeFileMbr(mapreduce::JobRunner* runner,
+                                const std::string& path,
+                                index::ShapeType shape,
+                                OpStats* stats = nullptr);
+
+}  // namespace shadoop::core
+
+#endif  // SHADOOP_CORE_FILE_MBR_H_

@@ -1,0 +1,68 @@
+#ifndef SHADOOP_CORE_HISTOGRAM_OP_H_
+#define SHADOOP_CORE_HISTOGRAM_OP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/op_stats.h"
+#include "geometry/envelope.h"
+#include "geometry/point.h"
+#include "index/record_shape.h"
+#include "mapreduce/job_runner.h"
+
+namespace shadoop::core {
+
+/// A uniform-grid density histogram of a file: record centers counted per
+/// cell. Used by the histogram-balanced SJMR variant to size its
+/// repartition grid against skew, and by tooling to inspect datasets.
+class GridHistogram {
+ public:
+  GridHistogram() = default;
+  GridHistogram(int cols, int rows, const Envelope& space)
+      : cols_(cols), rows_(rows), space_(space),
+        counts_(static_cast<size_t>(cols) * rows, 0) {}
+
+  int cols() const { return cols_; }
+  int rows() const { return rows_; }
+  const Envelope& space() const { return space_; }
+
+  int64_t At(int col, int row) const {
+    return counts_[static_cast<size_t>(row) * cols_ + col];
+  }
+  void Add(int col, int row, int64_t delta) {
+    counts_[static_cast<size_t>(row) * cols_ + col] += delta;
+  }
+
+  /// Cell index of a point (clamped to the grid).
+  int CellOf(const Point& p) const;
+
+  int64_t TotalCount() const;
+  int64_t MaxCount() const;
+
+  /// A synthetic sample that reproduces the histogram's density, for
+  /// feeding sample-based partitioners: every non-empty cell contributes
+  /// its center, repeated proportionally to its count (about
+  /// `target_size` points overall).
+  std::vector<Point> ToWeightedSample(size_t target_size) const;
+
+ private:
+  int cols_ = 0;
+  int rows_ = 0;
+  Envelope space_;
+  std::vector<int64_t> counts_;
+};
+
+/// Computes the histogram with one MapReduce job (map-side aggregation;
+/// the shuffle carries at most cols x rows counters per task).
+Result<GridHistogram> ComputeGridHistogram(mapreduce::JobRunner* runner,
+                                           const std::string& path,
+                                           index::ShapeType shape,
+                                           const Envelope& space, int cols,
+                                           int rows,
+                                           OpStats* stats = nullptr);
+
+}  // namespace shadoop::core
+
+#endif  // SHADOOP_CORE_HISTOGRAM_OP_H_

@@ -1,0 +1,204 @@
+#include "core/knn.h"
+
+#include <algorithm>
+#include <limits>
+#include <memory>
+#include <queue>
+#include <set>
+
+#include "common/string_util.h"
+#include "core/spatial_file_splitter.h"
+
+namespace shadoop::core {
+namespace {
+
+using mapreduce::JobConfig;
+using mapreduce::JobResult;
+using mapreduce::MapContext;
+
+/// Keeps the k smallest (distance, record) pairs seen.
+class TopK {
+ public:
+  explicit TopK(size_t k) : k_(k) {}
+
+  void Offer(double distance, const std::string& record) {
+    if (heap_.size() < k_) {
+      heap_.push({distance, record});
+    } else if (!heap_.empty() && distance < heap_.top().first) {
+      heap_.pop();
+      heap_.push({distance, record});
+    }
+  }
+
+  double KthDistance() const {
+    if (k_ == 0) return -std::numeric_limits<double>::infinity();
+    return heap_.size() < k_ ? std::numeric_limits<double>::infinity()
+                             : heap_.top().first;
+  }
+
+  std::vector<KnnAnswer> Sorted() {
+    std::vector<KnnAnswer> out;
+    out.reserve(heap_.size());
+    while (!heap_.empty()) {
+      out.push_back({heap_.top().first, heap_.top().second});
+      heap_.pop();
+    }
+    std::reverse(out.begin(), out.end());
+    return out;
+  }
+
+ private:
+  size_t k_;
+  // Max-heap on distance.
+  std::priority_queue<std::pair<double, std::string>> heap_;
+};
+
+class KnnMapper : public mapreduce::Mapper {
+ public:
+  KnnMapper(index::ShapeType shape, Point q, size_t k)
+      : shape_(shape), q_(q), top_(k) {}
+
+  void Map(const std::string& record, MapContext& ctx) override {
+    if (index::IsMetadataRecord(record)) return;
+    auto env = index::RecordEnvelope(shape_, record);
+    if (!env.ok()) {
+      ctx.counters().Increment("knn.bad_records");
+      return;
+    }
+    top_.Offer(env.value().MinDistance(q_), record);
+  }
+
+  void EndSplit(MapContext& ctx) override {
+    for (const KnnAnswer& answer : top_.Sorted()) {
+      ctx.Emit("K", FormatDouble(answer.distance) + "\t" + answer.record);
+    }
+  }
+
+ private:
+  index::ShapeType shape_;
+  Point q_;
+  TopK top_;
+};
+
+/// Merges local top-k lists into the global top-k.
+class KnnReducer : public mapreduce::Reducer {
+ public:
+  explicit KnnReducer(size_t k) : k_(k) {}
+
+  void Reduce(const std::string& key, const std::vector<std::string>& values,
+              mapreduce::ReduceContext& ctx) override {
+    (void)key;
+    TopK top(k_);
+    for (const std::string& value : values) {
+      const size_t tab = value.find('\t');
+      if (tab == std::string::npos) continue;
+      auto dist = ParseDouble(value.substr(0, tab));
+      if (!dist.ok()) continue;
+      top.Offer(dist.value(), value.substr(tab + 1));
+    }
+    for (const KnnAnswer& answer : top.Sorted()) {
+      ctx.Write(FormatDouble(answer.distance) + "\t" + answer.record);
+    }
+  }
+
+ private:
+  size_t k_;
+};
+
+Result<std::vector<KnnAnswer>> ParseAnswers(
+    const std::vector<std::string>& lines) {
+  std::vector<KnnAnswer> answers;
+  answers.reserve(lines.size());
+  for (const std::string& line : lines) {
+    const size_t tab = line.find('\t');
+    if (tab == std::string::npos) {
+      return Status::ParseError("bad kNN output line: '" + line + "'");
+    }
+    SHADOOP_ASSIGN_OR_RETURN(double dist, ParseDouble(line.substr(0, tab)));
+    answers.push_back({dist, line.substr(tab + 1)});
+  }
+  return answers;
+}
+
+JobConfig MakeKnnJob(std::vector<mapreduce::InputSplit> splits,
+                     index::ShapeType shape, const Point& q, size_t k) {
+  JobConfig job;
+  job.name = "knn";
+  job.splits = std::move(splits);
+  job.mapper = [shape, q, k]() {
+    return std::make_unique<KnnMapper>(shape, q, k);
+  };
+  job.reducer = [k]() { return std::make_unique<KnnReducer>(k); };
+  job.num_reducers = 1;
+  return job;
+}
+
+}  // namespace
+
+Result<std::vector<KnnAnswer>> KnnHadoop(mapreduce::JobRunner* runner,
+                                         const std::string& path,
+                                         index::ShapeType shape,
+                                         const Point& q, size_t k,
+                                         OpStats* stats) {
+  SHADOOP_ASSIGN_OR_RETURN(
+      std::vector<mapreduce::InputSplit> splits,
+      mapreduce::MakeBlockSplits(*runner->file_system(), path));
+  JobResult result = runner->Run(MakeKnnJob(std::move(splits), shape, q, k));
+  SHADOOP_RETURN_NOT_OK(result.status);
+  if (stats != nullptr) stats->Accumulate(result);
+  return ParseAnswers(result.output);
+}
+
+Result<std::vector<KnnAnswer>> KnnSpatial(mapreduce::JobRunner* runner,
+                                          const index::SpatialFileInfo& file,
+                                          const Point& q, size_t k,
+                                          OpStats* stats) {
+  const index::GlobalIndex& gi = file.global_index;
+  if (gi.NumPartitions() == 0) {
+    return Status::InvalidArgument("kNN over empty index");
+  }
+  if (k == 0) return std::vector<KnnAnswer>{};
+
+  // Seed: nearest partitions until they collectively hold >= k records.
+  std::vector<std::pair<double, int>> by_distance;
+  for (const index::Partition& p : gi.partitions()) {
+    by_distance.emplace_back(p.mbr.MinDistance(q), p.id);
+  }
+  std::sort(by_distance.begin(), by_distance.end());
+  std::set<int> processed;
+  std::vector<int> round;
+  size_t records_covered = 0;
+  for (const auto& [dist, id] : by_distance) {
+    round.push_back(id);
+    records_covered += gi.partitions()[id].num_records;
+    if (records_covered >= k) break;
+  }
+
+  TopK top(k);
+  while (!round.empty()) {
+    FilterFunction filter = [&round](const index::GlobalIndex&) {
+      return round;
+    };
+    SHADOOP_ASSIGN_OR_RETURN(std::vector<mapreduce::InputSplit> splits,
+                             SpatialSplits(file, filter));
+    JobResult result =
+        runner->Run(MakeKnnJob(std::move(splits), file.shape, q, k));
+    SHADOOP_RETURN_NOT_OK(result.status);
+    if (stats != nullptr) stats->Accumulate(result);
+    SHADOOP_ASSIGN_OR_RETURN(std::vector<KnnAnswer> answers,
+                             ParseAnswers(result.output));
+    for (const KnnAnswer& a : answers) top.Offer(a.distance, a.record);
+    for (int id : round) processed.insert(id);
+
+    // Correctness loop: any unprocessed partition closer than the k-th
+    // distance may hold a better neighbor.
+    const double radius = top.KthDistance();
+    round.clear();
+    for (const auto& [dist, id] : by_distance) {
+      if (processed.count(id) == 0 && dist <= radius) round.push_back(id);
+    }
+  }
+  return top.Sorted();
+}
+
+}  // namespace shadoop::core

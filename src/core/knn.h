@@ -1,0 +1,42 @@
+#ifndef SHADOOP_CORE_KNN_H_
+#define SHADOOP_CORE_KNN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/op_stats.h"
+#include "geometry/point.h"
+#include "index/index_builder.h"
+#include "mapreduce/job_runner.h"
+
+namespace shadoop::core {
+
+struct KnnAnswer {
+  double distance = 0.0;
+  std::string record;
+};
+
+/// k-nearest-neighbors of query point `q` by MinDistance of the record
+/// geometry (exact distance for point records).
+///
+/// Hadoop version: one full scan; each map task keeps its local top-k and
+/// a single reducer merges. SpatialHadoop version: starts from the
+/// partition(s) nearest to `q` and iterates — after each round, any
+/// unprocessed partition whose MBR is closer than the current k-th
+/// distance triggers another job (the paper's correctness loop; one extra
+/// round is rare in practice, which OpStats::jobs_run lets tests verify).
+Result<std::vector<KnnAnswer>> KnnHadoop(mapreduce::JobRunner* runner,
+                                         const std::string& path,
+                                         index::ShapeType shape,
+                                         const Point& q, size_t k,
+                                         OpStats* stats = nullptr);
+
+Result<std::vector<KnnAnswer>> KnnSpatial(mapreduce::JobRunner* runner,
+                                          const index::SpatialFileInfo& file,
+                                          const Point& q, size_t k,
+                                          OpStats* stats = nullptr);
+
+}  // namespace shadoop::core
+
+#endif  // SHADOOP_CORE_KNN_H_

@@ -1,0 +1,43 @@
+#ifndef SHADOOP_CORE_KNN_JOIN_H_
+#define SHADOOP_CORE_KNN_JOIN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/op_stats.h"
+#include "index/index_builder.h"
+#include "mapreduce/job_runner.h"
+
+namespace shadoop::core {
+
+/// One result row of a kNN join: record `left` (from A) paired with one
+/// of its k nearest records of B.
+struct KnnJoinAnswer {
+  std::string left;
+  std::string right;
+  double distance = 0.0;
+  int rank = 0;  // 1-based rank of `right` among left's neighbours.
+};
+
+/// kNN join: for every point record a in A, the k nearest point records
+/// of B. Requires both inputs indexed.
+///
+/// Two-round bound-then-verify algorithm over the global indexes:
+///   1. *Bound job*: each A partition is joined with just enough nearby B
+///      partitions to cover k records; each task reports Δ = the largest
+///      k-th-neighbour distance among its A records — an upper bound on
+///      any true k-th distance in the partition.
+///   2. *Verify job*: each A partition is re-joined with every B
+///      partition whose MBR lies within Δ of it (a multi-block split), so
+///      the exact k nearest of every record are guaranteed present.
+///
+/// Cost scales with how tightly the bound hugs the data: clustered B
+/// files keep the verify fan-in small.
+Result<std::vector<KnnJoinAnswer>> KnnJoinSpatial(
+    mapreduce::JobRunner* runner, const index::SpatialFileInfo& file_a,
+    const index::SpatialFileInfo& file_b, size_t k, OpStats* stats = nullptr);
+
+}  // namespace shadoop::core
+
+#endif  // SHADOOP_CORE_KNN_JOIN_H_

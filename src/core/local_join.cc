@@ -1,0 +1,93 @@
+#include "core/local_join.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace shadoop::core {
+namespace {
+
+uint64_t RTreeProbeJoin(
+    const std::vector<index::RTree::Entry>& entries_a,
+    const std::vector<index::RTree::Entry>& entries_b,
+    const std::function<void(uint32_t, uint32_t)>& emit) {
+  uint64_t cpu = 0;
+  const index::RTree tree(entries_a);
+  const size_t n = tree.NumEntries();
+  cpu += static_cast<uint64_t>(
+      n > 1 ? n * std::log2(static_cast<double>(n)) * 10 : n);
+  for (const index::RTree::Entry& b : entries_b) {
+    std::vector<uint32_t> hits;
+    cpu += tree.Search(b.box, &hits) * 50;
+    for (uint32_t a_payload : hits) {
+      emit(a_payload, b.payload);
+      cpu += 20;
+    }
+  }
+  return cpu;
+}
+
+uint64_t PlaneSweepJoin(
+    const std::vector<index::RTree::Entry>& entries_a,
+    const std::vector<index::RTree::Entry>& entries_b,
+    const std::function<void(uint32_t, uint32_t)>& emit) {
+  // Sort copies of both sides by min-x (the sweep order).
+  std::vector<index::RTree::Entry> a = entries_a;
+  std::vector<index::RTree::Entry> b = entries_b;
+  auto by_min_x = [](const index::RTree::Entry& u,
+                     const index::RTree::Entry& v) {
+    return u.box.min_x() < v.box.min_x();
+  };
+  std::sort(a.begin(), a.end(), by_min_x);
+  std::sort(b.begin(), b.end(), by_min_x);
+  uint64_t cpu = 0;
+  const size_t total = a.size() + b.size();
+  cpu += static_cast<uint64_t>(
+      total > 1 ? total * std::log2(static_cast<double>(total)) * 6 : total);
+
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i].box.min_x() <= b[j].box.min_x()) {
+      // a[i] opens: scan b entries starting at j while they can overlap
+      // in x, test y overlap directly.
+      for (size_t k = j;
+           k < b.size() && b[k].box.min_x() <= a[i].box.max_x(); ++k) {
+        cpu += 10;
+        if (a[i].box.Intersects(b[k].box)) {
+          emit(a[i].payload, b[k].payload);
+          cpu += 20;
+        }
+      }
+      ++i;
+    } else {
+      for (size_t k = i;
+           k < a.size() && a[k].box.min_x() <= b[j].box.max_x(); ++k) {
+        cpu += 10;
+        if (b[j].box.Intersects(a[k].box)) {
+          emit(a[k].payload, b[j].payload);
+          cpu += 20;
+        }
+      }
+      ++j;
+    }
+  }
+  return cpu;
+}
+
+}  // namespace
+
+uint64_t LocalJoinPairs(
+    const std::vector<index::RTree::Entry>& entries_a,
+    const std::vector<index::RTree::Entry>& entries_b,
+    LocalJoinAlgorithm algorithm,
+    const std::function<void(uint32_t, uint32_t)>& emit) {
+  switch (algorithm) {
+    case LocalJoinAlgorithm::kRTreeProbe:
+      return RTreeProbeJoin(entries_a, entries_b, emit);
+    case LocalJoinAlgorithm::kPlaneSweep:
+      return PlaneSweepJoin(entries_a, entries_b, emit);
+  }
+  return 0;
+}
+
+}  // namespace shadoop::core

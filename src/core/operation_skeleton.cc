@@ -1,0 +1,99 @@
+#include "core/operation_skeleton.h"
+
+#include <memory>
+
+#include "core/spatial_record_reader.h"
+
+namespace shadoop::core {
+namespace {
+
+using mapreduce::JobConfig;
+using mapreduce::JobResult;
+using mapreduce::MapContext;
+
+/// Bridges LocalOutput onto the map context: merge rows ride the shuffle
+/// under a constant key; output rows are early-flushed map-side.
+class LocalOutputImpl : public LocalOutput {
+ public:
+  explicit LocalOutputImpl(MapContext* ctx) : ctx_(ctx) {}
+
+  void ToMerge(std::string row) override { ctx_->Emit("M", std::move(row)); }
+  void ToOutput(std::string row) override {
+    ctx_->WriteOutput(std::move(row));
+  }
+  void ChargeCpu(uint64_t ops) override { ctx_->ChargeCpu(ops); }
+
+ private:
+  MapContext* ctx_;
+};
+
+class SkeletonMapper : public mapreduce::Mapper {
+ public:
+  explicit SkeletonMapper(const OperationSkeleton* op) : op_(op) {}
+
+  void BeginSplit(MapContext& ctx) override {
+    auto extent = ParseSplitExtent(ctx.split().meta);
+    if (!extent.ok()) {
+      ctx.Fail(extent.status());
+      return;
+    }
+    extent_ = extent.value();
+  }
+
+  void Map(const std::string& record, MapContext& ctx) override {
+    (void)ctx;
+    if (!index::IsMetadataRecord(record)) records_.push_back(record);
+  }
+
+  void EndSplit(MapContext& ctx) override {
+    LocalOutputImpl out(&ctx);
+    op_->local(extent_, records_, &out);
+  }
+
+ private:
+  const OperationSkeleton* op_;
+  SplitExtent extent_;
+  std::vector<std::string> records_;
+};
+
+}  // namespace
+
+Result<std::vector<std::string>> RunOperation(mapreduce::JobRunner* runner,
+                                              const index::SpatialFileInfo& file,
+                                              const OperationSkeleton& op,
+                                              OpStats* stats) {
+  if (!op.local) {
+    return Status::InvalidArgument("operation '" + op.name +
+                                   "' has no local function");
+  }
+  JobConfig job;
+  job.name = op.name;
+  SHADOOP_ASSIGN_OR_RETURN(
+      job.splits,
+      SpatialSplits(file, op.filter ? op.filter : KeepAllFilter));
+  const OperationSkeleton* op_ptr = &op;
+  job.mapper = [op_ptr]() { return std::make_unique<SkeletonMapper>(op_ptr); };
+  JobResult result = runner->Run(job);
+  SHADOOP_RETURN_NOT_OK(result.status);
+  if (stats != nullptr) stats->Accumulate(result);
+
+  // Map-only job: emitted pairs pass through as "M\t<row>"; split them
+  // from the early-flushed rows.
+  std::vector<std::string> output;
+  std::vector<std::string> candidates;
+  for (std::string& line : result.output) {
+    if (line.rfind("M\t", 0) == 0) {
+      candidates.push_back(line.substr(2));
+    } else {
+      output.push_back(std::move(line));
+    }
+  }
+  if (op.merge) {
+    op.merge(candidates, &output);
+  } else {
+    for (std::string& row : candidates) output.push_back(std::move(row));
+  }
+  return output;
+}
+
+}  // namespace shadoop::core

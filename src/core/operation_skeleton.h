@@ -1,0 +1,78 @@
+#ifndef SHADOOP_CORE_OPERATION_SKELETON_H_
+#define SHADOOP_CORE_OPERATION_SKELETON_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/op_stats.h"
+#include "core/spatial_file_splitter.h"
+#include "index/index_builder.h"
+#include "mapreduce/job_runner.h"
+
+namespace shadoop::core {
+
+/// The generic five-step framework of the paper (partition / filter /
+/// local-process / prune / merge), packaged so that a new spatial
+/// operation is three closures instead of a MapReduce program. The
+/// built-in operations are hand-written for control over their cost
+/// accounting; this skeleton is the extension point for everything else.
+///
+/// A one-page custom operation ("the 5 north-most records"):
+///
+///   OperationSkeleton op;
+///   op.name = "top-north";
+///   op.local = [](const SplitExtent&, const std::vector<std::string>& recs,
+///                 LocalOutput* out) {
+///     // keep this partition's 5 north-most; early-flush nothing.
+///     ... out->ToMerge(record) ...
+///   };
+///   op.merge = [](const std::vector<std::string>& candidates,
+///                 std::vector<std::string>* final_out) { ... };
+///   auto rows = RunOperation(&runner, indexed_file, op).ValueOrDie();
+///
+/// Semantics:
+///  - `filter` selects partitions via the global index (default: all).
+///  - `local` runs once per surviving partition inside a map task. It can
+///    send candidate rows to the merge step (ToMerge) and/or *early-flush*
+///    rows straight to the final output (ToOutput) — the paper's pruning
+///    step. It must be thread-compatible: invocations run concurrently on
+///    different partitions.
+///  - `merge` (optional) runs once over all candidate rows, on the master
+///    after a parallel pre-merge pass is skipped (candidates are expected
+///    to be small, as with all merge steps in this system). Omitting it
+///    appends candidates to the output unchanged.
+class LocalOutput {
+ public:
+  virtual ~LocalOutput() = default;
+  /// Sends a row to the merge step.
+  virtual void ToMerge(std::string row) = 0;
+  /// Early-flushes a row directly to the final output.
+  virtual void ToOutput(std::string row) = 0;
+  /// Reports algorithmic work to the cost model.
+  virtual void ChargeCpu(uint64_t ops) = 0;
+};
+
+struct OperationSkeleton {
+  std::string name = "custom-op";
+  FilterFunction filter;  // Default: every partition.
+  std::function<void(const SplitExtent& extent,
+                     const std::vector<std::string>& records,
+                     LocalOutput* out)>
+      local;
+  std::function<void(const std::vector<std::string>& candidates,
+                     std::vector<std::string>* final_out)>
+      merge;  // Optional.
+};
+
+/// Runs the operation over an indexed file; returns the early-flushed
+/// rows followed by the merge output.
+Result<std::vector<std::string>> RunOperation(mapreduce::JobRunner* runner,
+                                              const index::SpatialFileInfo& file,
+                                              const OperationSkeleton& op,
+                                              OpStats* stats = nullptr);
+
+}  // namespace shadoop::core
+
+#endif  // SHADOOP_CORE_OPERATION_SKELETON_H_

@@ -1,0 +1,34 @@
+#ifndef SHADOOP_CORE_RANGE_QUERY_H_
+#define SHADOOP_CORE_RANGE_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/op_stats.h"
+#include "core/spatial_file_splitter.h"
+#include "geometry/envelope.h"
+#include "index/index_builder.h"
+#include "mapreduce/job_runner.h"
+
+namespace shadoop::core {
+
+/// Range query: all records whose geometry intersects `query`.
+///
+/// Hadoop version: full scan — every block is read and every record
+/// tested. SpatialHadoop version: the SpatialFileSplitter prunes
+/// partitions via the global index; inside each surviving partition the
+/// local R-tree finds matches; for replicating (disjoint) indexes a
+/// reference-point test deduplicates records stored in several
+/// partitions.
+Result<std::vector<std::string>> RangeQueryHadoop(
+    mapreduce::JobRunner* runner, const std::string& path,
+    index::ShapeType shape, const Envelope& query, OpStats* stats = nullptr);
+
+Result<std::vector<std::string>> RangeQuerySpatial(
+    mapreduce::JobRunner* runner, const index::SpatialFileInfo& file,
+    const Envelope& query, OpStats* stats = nullptr);
+
+}  // namespace shadoop::core
+
+#endif  // SHADOOP_CORE_RANGE_QUERY_H_

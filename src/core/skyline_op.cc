@@ -1,0 +1,183 @@
+#include "core/skyline_op.h"
+
+#include <cmath>
+#include <memory>
+
+#include "core/spatial_file_splitter.h"
+#include "core/spatial_record_reader.h"
+#include "geometry/wkt.h"
+
+namespace shadoop::core {
+namespace {
+
+using mapreduce::JobConfig;
+using mapreduce::JobResult;
+using mapreduce::MapContext;
+
+class SkylineMapper : public mapreduce::Mapper {
+ public:
+  SkylineMapper() : reader_(index::ShapeType::kPoint) {}
+
+  void Map(const std::string& record, MapContext& ctx) override {
+    (void)ctx;
+    reader_.Add(record);
+  }
+
+  void EndSplit(MapContext& ctx) override {
+    std::vector<Point> points = reader_.Points();
+    const size_t n = points.size();
+    ctx.ChargeCpu(static_cast<uint64_t>(
+        n > 1 ? n * std::log2(static_cast<double>(n)) * 20 : n));
+    for (const Point& p : Skyline(std::move(points))) {
+      ctx.Emit("S", PointToCsv(p));
+    }
+    ctx.counters().Increment("skyline.bad_records",
+                             static_cast<int64_t>(reader_.bad_records()));
+  }
+
+ private:
+  SpatialRecordReader reader_;
+};
+
+class SkylineReducer : public mapreduce::Reducer {
+ public:
+  void Reduce(const std::string& key, const std::vector<std::string>& values,
+              mapreduce::ReduceContext& ctx) override {
+    (void)key;
+    std::vector<Point> points;
+    points.reserve(values.size());
+    for (const std::string& value : values) {
+      auto p = ParsePointCsv(value);
+      if (p.ok()) points.push_back(p.value());
+    }
+    const size_t n = points.size();
+    ctx.ChargeCpu(static_cast<uint64_t>(
+        n > 1 ? n * std::log2(static_cast<double>(n)) * 20 : n));
+    for (const Point& p : Skyline(std::move(points))) {
+      ctx.Write(PointToCsv(p));
+    }
+  }
+};
+
+Result<std::vector<Point>> RunSkylineJob(
+    mapreduce::JobRunner* runner, std::vector<mapreduce::InputSplit> splits,
+    const char* name, OpStats* stats) {
+  // Two-round merge: round 1 runs several reducers in parallel (each
+  // merges a share of the local skylines); round 2 is a master-side
+  // post-processing pass over the small surviving set, so no single
+  // reducer ever has to absorb every local skyline.
+  JobConfig job;
+  job.name = name;
+  job.splits = std::move(splits);
+  job.mapper = []() { return std::make_unique<SkylineMapper>(); };
+  job.reducer = []() { return std::make_unique<SkylineReducer>(); };
+  job.num_reducers =
+      std::min<int>(runner->cluster().num_slots,
+                    std::max<int>(1, static_cast<int>(job.splits.size()) / 4));
+  // Spread the constant-key groups across reducers round-robin.
+  int counter = 0;
+  job.partitioner = [counter](const std::string&, int reducers) mutable {
+    return counter++ % reducers;
+  };
+  JobResult result = runner->Run(job);
+  SHADOOP_RETURN_NOT_OK(result.status);
+  if (stats != nullptr) stats->Accumulate(result);
+  std::vector<Point> candidates;
+  candidates.reserve(result.output.size());
+  for (const std::string& line : result.output) {
+    SHADOOP_ASSIGN_OR_RETURN(Point p, ParsePointCsv(line));
+    candidates.push_back(p);
+  }
+  return Skyline(std::move(candidates));
+}
+
+}  // namespace
+
+std::vector<int> SkylinePartitionFilter(const index::GlobalIndex& gi,
+                                        SkylineDominance dir) {
+  const auto& parts = gi.partitions();
+  std::vector<int> selected;
+  for (size_t j = 0; j < parts.size(); ++j) {
+    // The extreme corner of cj: the best any point of cj could be.
+    Point best = parts[j].mbr.TopRight();
+    switch (dir) {
+      case SkylineDominance::kMaxMax:
+        best = parts[j].mbr.TopRight();
+        break;
+      case SkylineDominance::kMaxMin:
+        best = parts[j].mbr.BottomRight();
+        break;
+      case SkylineDominance::kMinMax:
+        best = parts[j].mbr.TopLeft();
+        break;
+      case SkylineDominance::kMinMin:
+        best = parts[j].mbr.BottomLeft();
+        break;
+    }
+    bool pruned = false;
+    for (size_t i = 0; i < parts.size() && !pruned; ++i) {
+      if (i == j) continue;
+      // Guaranteed dominators of ci: each MBR edge touches a data point,
+      // so the three non-extreme corners are lower bounds on real points.
+      const Envelope& mbr = parts[i].mbr;
+      const Point corners[4] = {mbr.BottomLeft(), mbr.BottomRight(),
+                                mbr.TopLeft(), mbr.TopRight()};
+      // Exclude the extreme corner for this direction: it may exceed every
+      // actual point of ci.
+      for (const Point& corner : corners) {
+        bool is_extreme = false;
+        switch (dir) {
+          case SkylineDominance::kMaxMax:
+            is_extreme = corner == mbr.TopRight();
+            break;
+          case SkylineDominance::kMaxMin:
+            is_extreme = corner == mbr.BottomRight();
+            break;
+          case SkylineDominance::kMinMax:
+            is_extreme = corner == mbr.TopLeft();
+            break;
+          case SkylineDominance::kMinMin:
+            is_extreme = corner == mbr.BottomLeft();
+            break;
+        }
+        if (is_extreme) continue;
+        if (Dominates(corner, best, dir)) {
+          pruned = true;
+          break;
+        }
+      }
+    }
+    if (!pruned) selected.push_back(parts[j].id);
+  }
+  return selected;
+}
+
+Result<std::vector<Point>> SkylineHadoop(mapreduce::JobRunner* runner,
+                                         const std::string& path,
+                                         OpStats* stats) {
+  SHADOOP_ASSIGN_OR_RETURN(
+      std::vector<mapreduce::InputSplit> splits,
+      mapreduce::MakeBlockSplits(*runner->file_system(), path));
+  return RunSkylineJob(runner, std::move(splits), "skyline-hadoop", stats);
+}
+
+Result<std::vector<Point>> SkylineSpatial(mapreduce::JobRunner* runner,
+                                          const index::SpatialFileInfo& file,
+                                          OpStats* stats) {
+  FilterFunction filter = [](const index::GlobalIndex& gi) {
+    return SkylinePartitionFilter(gi, SkylineDominance::kMaxMax);
+  };
+  SHADOOP_ASSIGN_OR_RETURN(std::vector<mapreduce::InputSplit> splits,
+                           SpatialSplits(file, filter));
+  if (stats != nullptr) {
+    stats->counters.Increment("skyline.partitions_processed",
+                              static_cast<int64_t>(splits.size()));
+    stats->counters.Increment(
+        "skyline.partitions_pruned",
+        static_cast<int64_t>(file.global_index.NumPartitions() -
+                             splits.size()));
+  }
+  return RunSkylineJob(runner, std::move(splits), "skyline-spatial", stats);
+}
+
+}  // namespace shadoop::core

@@ -1,0 +1,43 @@
+#ifndef SHADOOP_CORE_SKYLINE_OP_H_
+#define SHADOOP_CORE_SKYLINE_OP_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/op_stats.h"
+#include "geometry/skyline.h"
+#include "index/global_index.h"
+#include "index/index_builder.h"
+#include "mapreduce/job_runner.h"
+
+namespace shadoop::core {
+
+/// Skyline (max-max maximal points) of a point file.
+///
+/// Hadoop version: every split computes its local skyline (the combiner
+/// step of the paper) and one reducer merges — correct for any
+/// partitioning because merging skylines is just "skyline of the union".
+/// SpatialHadoop version adds the dominance *filter*: a partition whose
+/// best corner is dominated by a guaranteed point of another partition is
+/// never read (SkylinePartitionFilter, exposed for tests/benchmarks).
+Result<std::vector<Point>> SkylineHadoop(mapreduce::JobRunner* runner,
+                                         const std::string& path,
+                                         OpStats* stats = nullptr);
+
+Result<std::vector<Point>> SkylineSpatial(mapreduce::JobRunner* runner,
+                                          const index::SpatialFileInfo& file,
+                                          OpStats* stats = nullptr);
+
+/// The dominance filter over partition MBRs. Because partition MBRs are
+/// minimal, each MBR edge is guaranteed to touch a data point; a cell cj
+/// is pruned when the extreme corner of cj (w.r.t. `dir`) is dominated by
+/// the bottom-left, bottom-right or top-left guaranteed corner (in the
+/// direction's frame) of some other cell ci.
+std::vector<int> SkylinePartitionFilter(
+    const index::GlobalIndex& gi,
+    SkylineDominance dir = SkylineDominance::kMaxMax);
+
+}  // namespace shadoop::core
+
+#endif  // SHADOOP_CORE_SKYLINE_OP_H_

@@ -1,0 +1,85 @@
+#include "core/spatial_file_splitter.h"
+
+#include "common/string_util.h"
+#include "geometry/wkt.h"
+
+namespace shadoop::core {
+
+std::vector<int> KeepAllFilter(const index::GlobalIndex& gi) {
+  std::vector<int> ids;
+  ids.reserve(gi.NumPartitions());
+  for (const index::Partition& p : gi.partitions()) ids.push_back(p.id);
+  return ids;
+}
+
+FilterFunction RangeFilter(const Envelope& query) {
+  return [query](const index::GlobalIndex& gi) {
+    return gi.OverlappingPartitions(query);
+  };
+}
+
+std::string EncodeSplitExtent(const SplitExtent& extent) {
+  return EnvelopeToCsv(extent.cell) + ";" + EnvelopeToCsv(extent.mbr) + ";" +
+         EnvelopeToCsv(extent.file_mbr);
+}
+
+Result<SplitExtent> ParseSplitExtent(std::string_view meta) {
+  auto parts = SplitString(meta, ';');
+  if (parts.size() != 3) {
+    return Status::ParseError("bad split extent: '" + std::string(meta) + "'");
+  }
+  SplitExtent extent;
+  SHADOOP_ASSIGN_OR_RETURN(extent.cell, ParseEnvelopeCsv(parts[0]));
+  SHADOOP_ASSIGN_OR_RETURN(extent.mbr, ParseEnvelopeCsv(parts[1]));
+  SHADOOP_ASSIGN_OR_RETURN(extent.file_mbr, ParseEnvelopeCsv(parts[2]));
+  return extent;
+}
+
+Result<std::vector<mapreduce::InputSplit>> SpatialSplits(
+    const index::SpatialFileInfo& info, const FilterFunction& filter) {
+  const index::GlobalIndex& gi = info.global_index;
+  const Envelope file_mbr = gi.Bounds();
+  std::vector<mapreduce::InputSplit> splits;
+  for (int id : filter(gi)) {
+    if (id < 0 || id >= static_cast<int>(gi.NumPartitions())) {
+      return Status::InvalidArgument("filter returned bad partition id " +
+                                     std::to_string(id));
+    }
+    const index::Partition& p = gi.partitions()[id];
+    mapreduce::InputSplit split;
+    split.blocks.push_back({info.data_path, p.block_index});
+    split.meta = EncodeSplitExtent({p.cell, p.mbr, file_mbr});
+    split.estimated_bytes = p.num_bytes;
+    split.estimated_records = p.num_records;
+    splits.push_back(std::move(split));
+  }
+  return splits;
+}
+
+Result<std::vector<mapreduce::InputSplit>> PairSplits(
+    const index::SpatialFileInfo& a, const index::SpatialFileInfo& b,
+    const std::vector<std::pair<int, int>>& pairs) {
+  const Envelope mbr_a = a.global_index.Bounds();
+  const Envelope mbr_b = b.global_index.Bounds();
+  std::vector<mapreduce::InputSplit> splits;
+  splits.reserve(pairs.size());
+  for (const auto& [ia, ib] : pairs) {
+    if (ia < 0 || ia >= static_cast<int>(a.global_index.NumPartitions()) ||
+        ib < 0 || ib >= static_cast<int>(b.global_index.NumPartitions())) {
+      return Status::InvalidArgument("bad partition pair");
+    }
+    const index::Partition& pa = a.global_index.partitions()[ia];
+    const index::Partition& pb = b.global_index.partitions()[ib];
+    mapreduce::InputSplit split;
+    split.blocks.push_back({a.data_path, pa.block_index});
+    split.blocks.push_back({b.data_path, pb.block_index});
+    split.meta = EncodeSplitExtent({pa.cell, pa.mbr, mbr_a}) + "|" +
+                 EncodeSplitExtent({pb.cell, pb.mbr, mbr_b});
+    split.estimated_bytes = pa.num_bytes + pb.num_bytes;
+    split.estimated_records = pa.num_records + pb.num_records;
+    splits.push_back(std::move(split));
+  }
+  return splits;
+}
+
+}  // namespace shadoop::core

@@ -1,0 +1,56 @@
+#ifndef SHADOOP_CORE_SPATIAL_FILE_SPLITTER_H_
+#define SHADOOP_CORE_SPATIAL_FILE_SPLITTER_H_
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "index/index_builder.h"
+#include "mapreduce/job.h"
+
+namespace shadoop::core {
+
+/// The filter function of the SpatialHadoop MapReduce layer: inspects the
+/// global index and returns the ids of the partitions a job must process.
+/// Built-in filters cover the common cases; operations provide their own
+/// (e.g. the skyline's dominance filter).
+using FilterFunction =
+    std::function<std::vector<int>(const index::GlobalIndex&)>;
+
+/// A filter that keeps every partition.
+std::vector<int> KeepAllFilter(const index::GlobalIndex& gi);
+
+/// A filter that keeps partitions overlapping `query`.
+FilterFunction RangeFilter(const Envelope& query);
+
+/// Split metadata for spatially indexed inputs, carried in
+/// InputSplit::meta as "cell;mbr;file_mbr" (three CSV envelopes). The map
+/// function parses it back with ParseSplitExtent to learn its partition
+/// boundaries — the information pruning steps rely on.
+struct SplitExtent {
+  Envelope cell;      // Responsibility region of the partition.
+  Envelope mbr;       // Tight bounds of the partition's content.
+  Envelope file_mbr;  // MBR of the whole file (to detect global edges).
+};
+
+std::string EncodeSplitExtent(const SplitExtent& extent);
+Result<SplitExtent> ParseSplitExtent(std::string_view meta);
+
+/// SpatialFileSplitter: one split per partition that survives `filter`.
+/// This is where SpatialHadoop beats plain Hadoop — pruned partitions are
+/// never read.
+Result<std::vector<mapreduce::InputSplit>> SpatialSplits(
+    const index::SpatialFileInfo& info, const FilterFunction& filter);
+
+/// Splits covering *pairs* of partitions, one split per surviving pair
+/// (used by the farthest-pair operation and the distributed join). The
+/// split reads the blocks of both partitions; `meta` is the extents of
+/// the first partition followed by '|' and the extents of the second.
+Result<std::vector<mapreduce::InputSplit>> PairSplits(
+    const index::SpatialFileInfo& a, const index::SpatialFileInfo& b,
+    const std::vector<std::pair<int, int>>& pairs);
+
+}  // namespace shadoop::core
+
+#endif  // SHADOOP_CORE_SPATIAL_FILE_SPLITTER_H_

@@ -1,0 +1,383 @@
+#include "core/spatial_join.h"
+
+#include <cmath>
+#include <memory>
+
+#include "common/string_util.h"
+#include "core/file_mbr.h"
+#include "core/histogram_op.h"
+#include "core/spatial_file_splitter.h"
+#include "core/spatial_record_reader.h"
+#include "geometry/wkt.h"
+#include "index/grid_partitioner.h"
+#include "index/rtree.h"
+#include "index/str_partitioner.h"
+
+namespace shadoop::core {
+namespace {
+
+using mapreduce::JobConfig;
+using mapreduce::JobResult;
+using mapreduce::MapContext;
+
+/// True when the pair passes the join predicate: extents intersect, with
+/// exact refinement for polygon pairs.
+bool JoinMatch(index::ShapeType shape_a, const std::string& record_a,
+               const Envelope& env_a, index::ShapeType shape_b,
+               const std::string& record_b, const Envelope& env_b) {
+  if (!env_a.Intersects(env_b)) return false;
+  if (shape_a == index::ShapeType::kPolygon &&
+      shape_b == index::ShapeType::kPolygon) {
+    auto poly_a = index::RecordPolygon(record_a);
+    auto poly_b = index::RecordPolygon(record_b);
+    if (poly_a.ok() && poly_b.ok()) {
+      return poly_a.value().Intersects(poly_b.value());
+    }
+  }
+  return true;
+}
+
+/// Joins two record sets with the selected in-memory kernel. Emits
+/// matched pairs that pass `accept_ref` (the duplicate-avoidance
+/// predicate over the pair's reference point). Returns charged CPU ops.
+uint64_t LocalJoin(index::ShapeType shape_a,
+                   const std::vector<std::string>& records_a,
+                   const std::vector<index::RTree::Entry>& entries_a,
+                   index::ShapeType shape_b,
+                   const std::vector<std::string>& records_b,
+                   const std::vector<index::RTree::Entry>& entries_b,
+                   LocalJoinAlgorithm algorithm,
+                   const std::function<bool(const Point&)>& accept_ref,
+                   const std::function<void(std::string)>& emit) {
+  // Payload -> envelope lookup (payloads index records_*, but entries may
+  // skip malformed records, so positions and payloads differ).
+  std::vector<Envelope> env_of_a(records_a.size());
+  for (const index::RTree::Entry& e : entries_a) env_of_a[e.payload] = e.box;
+  std::vector<Envelope> env_of_b(records_b.size());
+  for (const index::RTree::Entry& e : entries_b) env_of_b[e.payload] = e.box;
+
+  uint64_t refine_cpu = 0;
+  const uint64_t kernel_cpu = LocalJoinPairs(
+      entries_a, entries_b, algorithm,
+      [&](uint32_t pa, uint32_t pb) {
+        const Envelope& env_a = env_of_a[pa];
+        const Envelope& env_b = env_of_b[pb];
+        const std::string& ra = records_a[pa];
+        const std::string& rb = records_b[pb];
+        const Point ref = env_a.Intersection(env_b).BottomLeft();
+        if (!accept_ref(ref)) return;
+        refine_cpu += 200;
+        if (JoinMatch(shape_a, ra, env_a, shape_b, rb, env_b)) {
+          emit(ra + std::string(1, kJoinSeparator) + rb);
+        }
+      });
+  return kernel_cpu + refine_cpu;
+}
+
+// ---------------------------------------------------------------------
+// SJMR
+
+/// Map phase of SJMR: repartitions records of one input on the shared
+/// cell tiling. The split meta is "A" or "B".
+class SjmrMapper : public mapreduce::Mapper {
+ public:
+  SjmrMapper(index::ShapeType shape_a, index::ShapeType shape_b,
+             std::shared_ptr<const index::Partitioner> grid)
+      : shape_a_(shape_a), shape_b_(shape_b), grid_(std::move(grid)) {}
+
+  void BeginSplit(MapContext& ctx) override {
+    tag_ = ctx.split().meta;
+  }
+
+  void Map(const std::string& record, MapContext& ctx) override {
+    if (index::IsMetadataRecord(record)) return;
+    const index::ShapeType shape = tag_ == "A" ? shape_a_ : shape_b_;
+    auto env = index::RecordEnvelope(shape, record);
+    if (!env.ok()) {
+      ctx.counters().Increment("sjmr.bad_records");
+      return;
+    }
+    for (int cell : grid_->AssignEnvelope(env.value())) {
+      char key[16];
+      std::snprintf(key, sizeof(key), "%010d", cell);
+      ctx.Emit(key, tag_ + record);
+    }
+  }
+
+ private:
+  index::ShapeType shape_a_;
+  index::ShapeType shape_b_;
+  std::shared_ptr<const index::Partitioner> grid_;
+  std::string tag_;
+};
+
+/// Reduce phase of SJMR: joins one grid cell.
+class SjmrReducer : public mapreduce::Reducer {
+ public:
+  SjmrReducer(index::ShapeType shape_a, index::ShapeType shape_b,
+              std::shared_ptr<const index::Partitioner> grid,
+              LocalJoinAlgorithm algorithm)
+      : shape_a_(shape_a),
+        shape_b_(shape_b),
+        grid_(std::move(grid)),
+        algorithm_(algorithm) {}
+
+  void Reduce(const std::string& key, const std::vector<std::string>& values,
+              mapreduce::ReduceContext& ctx) override {
+    auto cell_id = ParseInt64(key);
+    if (!cell_id.ok()) {
+      ctx.Fail(cell_id.status());
+      return;
+    }
+    const Envelope cell = grid_->CellExtent(static_cast<int>(cell_id.value()));
+
+    SpatialRecordReader reader_a(shape_a_);
+    SpatialRecordReader reader_b(shape_b_);
+    for (const std::string& value : values) {
+      if (value.empty()) continue;
+      if (value[0] == 'A') {
+        reader_a.Add(value.substr(1));
+      } else {
+        reader_b.Add(value.substr(1));
+      }
+    }
+    // Reference-point duplicate avoidance: a record pair overlapping
+    // several grid cells is reported only by the cell owning the
+    // bottom-left corner of the pair's intersection. Cells on the global
+    // top/right edge accept their closed boundary (no neighbour exists
+    // there to double-report).
+    uint64_t cpu = LocalJoin(
+        shape_a_, reader_a.records(), reader_a.Envelopes(), shape_b_,
+        reader_b.records(), reader_b.Envelopes(), algorithm_,
+        [this, &cell](const Point& ref) { return AcceptRef(cell, ref); },
+        [&ctx](std::string line) {
+          ctx.Write(std::move(line));
+          ctx.counters().Increment("join.results");
+        });
+    ctx.ChargeCpu(cpu);
+  }
+
+ private:
+  bool AcceptRef(const Envelope& cell, const Point& ref) const {
+    const bool right_edge = cell.max_x() >= grid_space_max_x_;
+    const bool top_edge = cell.max_y() >= grid_space_max_y_;
+    return cell.ContainsHalfOpen(ref, right_edge, top_edge);
+  }
+
+ public:
+  void SetSpaceMax(double max_x, double max_y) {
+    grid_space_max_x_ = max_x;
+    grid_space_max_y_ = max_y;
+  }
+
+ private:
+  index::ShapeType shape_a_;
+  index::ShapeType shape_b_;
+  std::shared_ptr<const index::Partitioner> grid_;
+  LocalJoinAlgorithm algorithm_;
+  double grid_space_max_x_ = std::numeric_limits<double>::infinity();
+  double grid_space_max_y_ = std::numeric_limits<double>::infinity();
+};
+
+// ---------------------------------------------------------------------
+// Distributed join (DJ)
+
+/// Map-only join of one partition pair. Block 0 of the split holds the A
+/// partition, block 1 the B partition.
+class DjMapper : public mapreduce::Mapper {
+ public:
+  DjMapper(index::ShapeType shape_a, index::ShapeType shape_b, bool dedup_a,
+           bool dedup_b, LocalJoinAlgorithm algorithm)
+      : reader_a_(shape_a),
+        reader_b_(shape_b),
+        dedup_a_(dedup_a),
+        dedup_b_(dedup_b),
+        algorithm_(algorithm) {}
+
+  void BeginSplit(MapContext& ctx) override {
+    const std::string& meta = ctx.split().meta;
+    const size_t bar = meta.find('|');
+    if (bar == std::string::npos) {
+      ctx.Fail(Status::ParseError("bad pair-split meta"));
+      return;
+    }
+    auto a = ParseSplitExtent(meta.substr(0, bar));
+    auto b = ParseSplitExtent(meta.substr(bar + 1));
+    if (!a.ok() || !b.ok()) {
+      ctx.Fail(a.ok() ? b.status() : a.status());
+      return;
+    }
+    extent_a_ = a.value();
+    extent_b_ = b.value();
+  }
+
+  void BeginBlock(size_t ordinal, MapContext& ctx) override {
+    (void)ctx;
+    current_block_ = ordinal;
+  }
+
+  void Map(const std::string& record, MapContext& ctx) override {
+    (void)ctx;
+    (current_block_ == 0 ? reader_a_ : reader_b_).Add(record);
+  }
+
+  void EndSplit(MapContext& ctx) override {
+    auto accept = [this](const Point& ref) {
+      if (dedup_a_) {
+        const bool right = extent_a_.cell.max_x() >= extent_a_.file_mbr.max_x();
+        const bool top = extent_a_.cell.max_y() >= extent_a_.file_mbr.max_y();
+        if (!extent_a_.cell.ContainsHalfOpen(ref, right, top)) return false;
+      }
+      if (dedup_b_) {
+        const bool right = extent_b_.cell.max_x() >= extent_b_.file_mbr.max_x();
+        const bool top = extent_b_.cell.max_y() >= extent_b_.file_mbr.max_y();
+        if (!extent_b_.cell.ContainsHalfOpen(ref, right, top)) return false;
+      }
+      return true;
+    };
+    const uint64_t cpu = LocalJoin(
+        reader_a_.shape(), reader_a_.records(), reader_a_.Envelopes(),
+        reader_b_.shape(), reader_b_.records(), reader_b_.Envelopes(),
+        algorithm_, accept,
+        [&ctx](std::string line) {
+          ctx.WriteOutput(std::move(line));
+          ctx.counters().Increment("join.results");
+        });
+    ctx.ChargeCpu(cpu);
+  }
+
+ private:
+  SpatialRecordReader reader_a_;
+  SpatialRecordReader reader_b_;
+  bool dedup_a_;
+  bool dedup_b_;
+  LocalJoinAlgorithm algorithm_;
+  SplitExtent extent_a_;
+  SplitExtent extent_b_;
+  size_t current_block_ = 0;
+};
+
+}  // namespace
+
+Result<std::pair<std::string, std::string>> SplitJoinOutput(
+    const std::string& line) {
+  const size_t sep = line.find(kJoinSeparator);
+  if (sep == std::string::npos) {
+    return Status::ParseError("join output line without separator");
+  }
+  return std::make_pair(line.substr(0, sep), line.substr(sep + 1));
+}
+
+Result<std::vector<std::string>> SjmrJoin(mapreduce::JobRunner* runner,
+                                          const std::string& path_a,
+                                          index::ShapeType shape_a,
+                                          const std::string& path_b,
+                                          index::ShapeType shape_b,
+                                          OpStats* stats,
+                                          const SjmrOptions& options) {
+  hdfs::FileSystem* fs = runner->file_system();
+
+  // Preprocessing scans: both file MBRs (counted in stats).
+  SHADOOP_ASSIGN_OR_RETURN(Envelope mbr_a,
+                           ComputeFileMbr(runner, path_a, shape_a, stats));
+  SHADOOP_ASSIGN_OR_RETURN(Envelope mbr_b,
+                           ComputeFileMbr(runner, path_b, shape_b, stats));
+  Envelope space = mbr_a;
+  space.ExpandToInclude(mbr_b);
+
+  SHADOOP_ASSIGN_OR_RETURN(hdfs::FileMeta meta_a, fs->GetFileMeta(path_a));
+  SHADOOP_ASSIGN_OR_RETURN(hdfs::FileMeta meta_b, fs->GetFileMeta(path_b));
+  const int target_cells = std::max<int>(
+      1, static_cast<int>((meta_a.total_bytes + meta_b.total_bytes) /
+                          fs->config().block_size));
+
+  std::shared_ptr<index::Partitioner> grid;
+  if (options.histogram_balanced) {
+    // One more scan pair builds a combined density histogram; STR-style
+    // quantile cells then even out the per-reducer load under skew.
+    const int res = std::max(2, options.histogram_resolution);
+    SHADOOP_ASSIGN_OR_RETURN(
+        GridHistogram hist_a,
+        ComputeGridHistogram(runner, path_a, shape_a, space, res, res,
+                             stats));
+    SHADOOP_ASSIGN_OR_RETURN(
+        GridHistogram hist_b,
+        ComputeGridHistogram(runner, path_b, shape_b, space, res, res,
+                             stats));
+    for (int row = 0; row < res; ++row) {
+      for (int col = 0; col < res; ++col) {
+        hist_a.Add(col, row, hist_b.At(col, row));
+      }
+    }
+    const std::vector<Point> sample = hist_a.ToWeightedSample(20000);
+    grid = std::make_shared<index::StrPartitioner>(/*replicate=*/true);
+    SHADOOP_RETURN_NOT_OK(grid->Construct(space, sample, target_cells));
+  } else {
+    grid = std::make_shared<index::GridPartitioner>();
+    SHADOOP_RETURN_NOT_OK(grid->Construct(space, {}, target_cells));
+  }
+
+  JobConfig job;
+  job.name = "sjmr";
+  SHADOOP_ASSIGN_OR_RETURN(std::vector<mapreduce::InputSplit> splits_a,
+                           mapreduce::MakeBlockSplits(*fs, path_a));
+  SHADOOP_ASSIGN_OR_RETURN(std::vector<mapreduce::InputSplit> splits_b,
+                           mapreduce::MakeBlockSplits(*fs, path_b));
+  for (mapreduce::InputSplit& s : splits_a) s.meta = "A";
+  for (mapreduce::InputSplit& s : splits_b) s.meta = "B";
+  job.splits = std::move(splits_a);
+  job.splits.insert(job.splits.end(),
+                    std::make_move_iterator(splits_b.begin()),
+                    std::make_move_iterator(splits_b.end()));
+  std::shared_ptr<const index::Partitioner> grid_const = grid;
+  job.mapper = [shape_a, shape_b, grid_const]() {
+    return std::make_unique<SjmrMapper>(shape_a, shape_b, grid_const);
+  };
+  const double space_max_x = space.max_x();
+  const double space_max_y = space.max_y();
+  const LocalJoinAlgorithm algorithm = options.local_algorithm;
+  job.reducer = [shape_a, shape_b, grid_const, space_max_x, space_max_y,
+                 algorithm]() {
+    auto reducer = std::make_unique<SjmrReducer>(shape_a, shape_b, grid_const,
+                                                 algorithm);
+    reducer->SetSpaceMax(space_max_x, space_max_y);
+    return reducer;
+  };
+  job.num_reducers = runner->cluster().num_slots;
+  JobResult result = runner->Run(job);
+  SHADOOP_RETURN_NOT_OK(result.status);
+  if (stats != nullptr) stats->Accumulate(result);
+  return std::move(result.output);
+}
+
+Result<std::vector<std::string>> DistributedJoin(
+    mapreduce::JobRunner* runner, const index::SpatialFileInfo& file_a,
+    const index::SpatialFileInfo& file_b, OpStats* stats,
+    const DjOptions& options) {
+  // Global join: overlapping partition pairs from the two master files.
+  std::vector<std::pair<int, int>> pairs;
+  for (const index::Partition& pa : file_a.global_index.partitions()) {
+    for (const index::Partition& pb : file_b.global_index.partitions()) {
+      if (pa.mbr.Intersects(pb.mbr)) pairs.emplace_back(pa.id, pb.id);
+    }
+  }
+
+  JobConfig job;
+  job.name = "distributed-join";
+  SHADOOP_ASSIGN_OR_RETURN(job.splits, PairSplits(file_a, file_b, pairs));
+  const index::ShapeType shape_a = file_a.shape;
+  const index::ShapeType shape_b = file_b.shape;
+  const bool dedup_a = file_a.global_index.IsDisjoint();
+  const bool dedup_b = file_b.global_index.IsDisjoint();
+  const LocalJoinAlgorithm algorithm = options.local_algorithm;
+  job.mapper = [shape_a, shape_b, dedup_a, dedup_b, algorithm]() {
+    return std::make_unique<DjMapper>(shape_a, shape_b, dedup_a, dedup_b,
+                                      algorithm);
+  };
+  JobResult result = runner->Run(job);
+  SHADOOP_RETURN_NOT_OK(result.status);
+  if (stats != nullptr) stats->Accumulate(result);
+  return std::move(result.output);
+}
+
+}  // namespace shadoop::core

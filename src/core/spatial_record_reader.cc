@@ -1,0 +1,76 @@
+#include "core/spatial_record_reader.h"
+
+namespace shadoop::core {
+
+void SpatialRecordReader::Add(std::string record) {
+  if (index::IsMetadataRecord(record)) {
+    auto decoded = index::DecodeLocalIndexHeader(record);
+    if (decoded.ok()) {
+      preparsed_envelopes_ = std::move(decoded).value();
+    }
+    return;
+  }
+  records_.push_back(std::move(record));
+}
+
+std::vector<Point> SpatialRecordReader::Points() {
+  std::vector<Point> points;
+  points.reserve(records_.size());
+  for (const std::string& record : records_) {
+    auto p = index::RecordPoint(record);
+    if (p.ok()) {
+      points.push_back(p.value());
+    } else {
+      ++bad_records_;
+    }
+  }
+  return points;
+}
+
+std::vector<index::RTree::Entry> SpatialRecordReader::Envelopes() {
+  std::vector<index::RTree::Entry> entries;
+  entries.reserve(records_.size());
+  if (has_local_index()) {
+    // The persisted header already carries every record's envelope in
+    // block order; empty slots mark records that failed to parse at
+    // build time.
+    for (size_t i = 0; i < records_.size(); ++i) {
+      if (preparsed_envelopes_[i].IsEmpty()) {
+        ++bad_records_;
+      } else {
+        entries.push_back({preparsed_envelopes_[i],
+                           static_cast<uint32_t>(i)});
+      }
+    }
+    return entries;
+  }
+  for (size_t i = 0; i < records_.size(); ++i) {
+    auto env = index::RecordEnvelope(shape_, records_[i]);
+    if (env.ok()) {
+      entries.push_back({env.value(), static_cast<uint32_t>(i)});
+    } else {
+      ++bad_records_;
+    }
+  }
+  return entries;
+}
+
+std::vector<Polygon> SpatialRecordReader::Polygons() {
+  std::vector<Polygon> polygons;
+  polygons.reserve(records_.size());
+  for (const std::string& record : records_) {
+    auto poly = index::RecordPolygon(record);
+    if (poly.ok()) {
+      polygons.push_back(std::move(poly).value());
+    } else {
+      ++bad_records_;
+    }
+  }
+  return polygons;
+}
+
+index::RTree SpatialRecordReader::BuildLocalIndex() {
+  return index::RTree(Envelopes());
+}
+
+}  // namespace shadoop::core

@@ -1,0 +1,72 @@
+#ifndef SHADOOP_CORE_SPATIAL_RECORD_READER_H_
+#define SHADOOP_CORE_SPATIAL_RECORD_READER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "geometry/envelope.h"
+#include "geometry/point.h"
+#include "geometry/polygon.h"
+#include "index/record_shape.h"
+#include "index/rtree.h"
+
+namespace shadoop::core {
+
+/// The SpatialRecordReader of the MapReduce layer: map functions feed it
+/// the raw records of their partition and it exposes typed geometry views
+/// and a bulk-loaded local index. Malformed records are counted, not
+/// fatal (HDFS text files routinely contain stray lines).
+class SpatialRecordReader {
+ public:
+  explicit SpatialRecordReader(index::ShapeType shape) : shape_(shape) {}
+
+  index::ShapeType shape() const { return shape_; }
+
+  /// Feeds one raw record. '#'-prefixed metadata records (the persisted
+  /// local-index header) are consumed here and never appear in records().
+  void Add(std::string record);
+
+  void Clear() {
+    records_.clear();
+    preparsed_envelopes_.clear();
+    bad_records_ = 0;
+  }
+
+  /// True when the partition carried a persisted local index, so
+  /// Envelopes()/BuildLocalIndex() need no geometry parsing. Callers use
+  /// this to charge the cost model less CPU.
+  bool has_local_index() const {
+    return preparsed_envelopes_.size() == records_.size() &&
+           !records_.empty();
+  }
+
+  size_t NumRecords() const { return records_.size(); }
+  const std::vector<std::string>& records() const { return records_; }
+  size_t bad_records() const { return bad_records_; }
+
+  /// Parses all records as points (shape must be kPoint).
+  std::vector<Point> Points();
+
+  /// Envelopes of all records, paired with their indices in records().
+  std::vector<index::RTree::Entry> Envelopes();
+
+  /// Parses all records as polygons (shape must be kPolygon).
+  std::vector<Polygon> Polygons();
+
+  /// Bulk-loads the local R-tree over the record envelopes. The returned
+  /// `visited` counts from RTree::Search should be fed to
+  /// MapContext::ChargeCpu so the cost model sees the local index's CPU
+  /// savings.
+  index::RTree BuildLocalIndex();
+
+ private:
+  index::ShapeType shape_;
+  std::vector<std::string> records_;
+  std::vector<Envelope> preparsed_envelopes_;  // From the #lidx header.
+  size_t bad_records_ = 0;
+};
+
+}  // namespace shadoop::core
+
+#endif  // SHADOOP_CORE_SPATIAL_RECORD_READER_H_

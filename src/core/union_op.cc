@@ -1,0 +1,170 @@
+#include "core/union_op.h"
+
+#include <cmath>
+#include <memory>
+
+#include "common/string_util.h"
+#include "core/spatial_file_splitter.h"
+#include "core/spatial_record_reader.h"
+#include "geometry/polygon_clip.h"
+#include "geometry/polygon_union.h"
+#include "geometry/wkt.h"
+
+namespace shadoop::core {
+namespace {
+
+using mapreduce::JobConfig;
+using mapreduce::JobResult;
+using mapreduce::MapContext;
+
+uint64_t UnionCpuOps(const std::vector<Polygon>& polygons) {
+  uint64_t edges = 0;
+  for (const Polygon& p : polygons) edges += p.NumVertices();
+  // The overlay is quadratic in edges within a group in the worst case.
+  return edges * edges / 16 + edges * 100;
+}
+
+/// Hadoop map side: forwards polygons. With random partitioning the local
+/// union step almost never merges anything (adjacent polygons land on
+/// different machines), so forwarding matches what the real local step
+/// achieves — and the single reducer becomes the bottleneck, which is the
+/// behaviour the experiment demonstrates.
+class HadoopUnionMapper : public mapreduce::Mapper {
+ public:
+  void Map(const std::string& record, MapContext& ctx) override {
+    if (index::IsMetadataRecord(record)) return;
+    ctx.Emit("U", record);
+  }
+};
+
+class HadoopUnionReducer : public mapreduce::Reducer {
+ public:
+  void Reduce(const std::string& key, const std::vector<std::string>& values,
+              mapreduce::ReduceContext& ctx) override {
+    (void)key;
+    std::vector<Polygon> polygons;
+    polygons.reserve(values.size());
+    for (const std::string& value : values) {
+      auto poly = index::RecordPolygon(value);
+      if (poly.ok()) {
+        polygons.push_back(std::move(poly).value());
+      } else {
+        ctx.counters().Increment("union.bad_records");
+      }
+    }
+    ctx.ChargeCpu(UnionCpuOps(polygons));
+    for (const Segment& s : UnionBoundary(polygons)) {
+      ctx.Write(SegmentToCsv(s));
+    }
+  }
+};
+
+/// Enhanced union: local union boundary clipped to the partition cell;
+/// map-only.
+class EnhancedUnionMapper : public mapreduce::Mapper {
+ public:
+  EnhancedUnionMapper() : reader_(index::ShapeType::kPolygon) {}
+
+  void BeginSplit(MapContext& ctx) override {
+    auto extent = ParseSplitExtent(ctx.split().meta);
+    if (!extent.ok()) {
+      ctx.Fail(extent.status());
+      return;
+    }
+    cell_ = extent.value().cell;
+  }
+
+  void Map(const std::string& record, MapContext& ctx) override {
+    (void)ctx;
+    reader_.Add(record);
+  }
+
+  void EndSplit(MapContext& ctx) override {
+    std::vector<Polygon> polygons = reader_.Polygons();
+    ctx.ChargeCpu(UnionCpuOps(polygons));
+    size_t kept = 0;
+    for (const Segment& s : UnionBoundary(polygons)) {
+      // Pruning step: keep only the portion inside this cell. Every
+      // boundary segment is inside exactly one cell (cells tile space),
+      // so the global output is the concatenation of all map outputs.
+      if (auto clipped = ClipSegmentToBox(s, cell_)) {
+        ctx.WriteOutput(SegmentToCsv(*clipped));
+        ++kept;
+      }
+    }
+    ctx.counters().Increment("union.segments", static_cast<int64_t>(kept));
+    ctx.counters().Increment("union.bad_records",
+                             static_cast<int64_t>(reader_.bad_records()));
+  }
+
+ private:
+  SpatialRecordReader reader_;
+  Envelope cell_;
+};
+
+Result<std::vector<Segment>> ParseSegments(
+    const std::vector<std::string>& lines) {
+  std::vector<Segment> segments;
+  segments.reserve(lines.size());
+  for (const std::string& line : lines) {
+    SHADOOP_ASSIGN_OR_RETURN(Segment s, ParseSegmentCsv(line));
+    segments.push_back(s);
+  }
+  return segments;
+}
+
+}  // namespace
+
+std::string SegmentToCsv(const Segment& s) {
+  return FormatDouble(s.a.x) + "," + FormatDouble(s.a.y) + "," +
+         FormatDouble(s.b.x) + "," + FormatDouble(s.b.y);
+}
+
+Result<Segment> ParseSegmentCsv(std::string_view text) {
+  auto fields = SplitString(text, ',');
+  if (fields.size() != 4) {
+    return Status::ParseError("bad segment record: '" + std::string(text) +
+                              "'");
+  }
+  double v[4];
+  for (int i = 0; i < 4; ++i) {
+    SHADOOP_ASSIGN_OR_RETURN(v[i], ParseDouble(fields[i]));
+  }
+  return Segment(Point(v[0], v[1]), Point(v[2], v[3]));
+}
+
+Result<std::vector<Segment>> UnionHadoop(mapreduce::JobRunner* runner,
+                                         const std::string& path,
+                                         OpStats* stats) {
+  JobConfig job;
+  job.name = "union-hadoop";
+  SHADOOP_ASSIGN_OR_RETURN(
+      job.splits, mapreduce::MakeBlockSplits(*runner->file_system(), path));
+  job.mapper = []() { return std::make_unique<HadoopUnionMapper>(); };
+  job.reducer = []() { return std::make_unique<HadoopUnionReducer>(); };
+  job.num_reducers = 1;
+  JobResult result = runner->Run(job);
+  SHADOOP_RETURN_NOT_OK(result.status);
+  if (stats != nullptr) stats->Accumulate(result);
+  return ParseSegments(result.output);
+}
+
+Result<std::vector<Segment>> UnionSpatialEnhanced(
+    mapreduce::JobRunner* runner, const index::SpatialFileInfo& file,
+    OpStats* stats) {
+  if (!file.global_index.IsDisjoint()) {
+    return Status::InvalidArgument(
+        "enhanced union requires a disjoint replicating index; got " +
+        std::string(index::PartitionSchemeName(file.global_index.scheme())));
+  }
+  JobConfig job;
+  job.name = "union-enhanced";
+  SHADOOP_ASSIGN_OR_RETURN(job.splits, SpatialSplits(file, KeepAllFilter));
+  job.mapper = []() { return std::make_unique<EnhancedUnionMapper>(); };
+  JobResult result = runner->Run(job);
+  SHADOOP_RETURN_NOT_OK(result.status);
+  if (stats != nullptr) stats->Accumulate(result);
+  return ParseSegments(result.output);
+}
+
+}  // namespace shadoop::core

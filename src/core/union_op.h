@@ -1,0 +1,40 @@
+#ifndef SHADOOP_CORE_UNION_OP_H_
+#define SHADOOP_CORE_UNION_OP_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/op_stats.h"
+#include "geometry/segment.h"
+#include "index/index_builder.h"
+#include "mapreduce/job_runner.h"
+
+namespace shadoop::core {
+
+/// Polygon union: the perimeter of the union of all polygons in a file,
+/// returned as boundary segments (interior borders removed).
+///
+/// Hadoop version: random partitioning puts overlapping polygons on
+/// different machines, so the local union step removes almost nothing and
+/// one reducer ends up computing the whole union — the scaling wall the
+/// paper demonstrates. Enhanced SpatialHadoop version: with a disjoint
+/// replicating index, each partition holds *every* polygon overlapping
+/// its cell; the map task computes the local union boundary and clips it
+/// to the cell, so each output segment is produced by exactly one task
+/// and no merge step exists at all (map-only job).
+Result<std::vector<Segment>> UnionHadoop(mapreduce::JobRunner* runner,
+                                         const std::string& path,
+                                         OpStats* stats = nullptr);
+
+Result<std::vector<Segment>> UnionSpatialEnhanced(
+    mapreduce::JobRunner* runner, const index::SpatialFileInfo& file,
+    OpStats* stats = nullptr);
+
+/// Segment record codec used by the union outputs ("x1,y1,x2,y2").
+std::string SegmentToCsv(const Segment& s);
+Result<Segment> ParseSegmentCsv(std::string_view text);
+
+}  // namespace shadoop::core
+
+#endif  // SHADOOP_CORE_UNION_OP_H_

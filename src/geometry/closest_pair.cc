@@ -1,0 +1,79 @@
+#include "geometry/closest_pair.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace shadoop {
+namespace {
+
+constexpr size_t kBruteForceCutoff = 16;
+
+PointPair BetterOf(const PointPair& a, const PointPair& b) {
+  return a.distance <= b.distance ? a : b;
+}
+
+/// Recursive step over points sorted by x; `by_y` is the same set sorted
+/// by y (classic Shamos structure to keep the strip merge linear).
+PointPair Recurse(std::vector<Point>& by_x, size_t lo, size_t hi,
+                  std::vector<Point>& by_y_scratch) {
+  const size_t n = hi - lo;
+  if (n <= kBruteForceCutoff) {
+    std::vector<Point> slice(by_x.begin() + lo, by_x.begin() + hi);
+    PointPair best = ClosestPairBruteForce(slice);
+    std::sort(by_x.begin() + lo, by_x.begin() + hi,
+              [](const Point& a, const Point& b) { return a.y < b.y; });
+    return best;
+  }
+
+  const size_t mid = lo + n / 2;
+  const double mid_x = by_x[mid].x;
+  PointPair best = BetterOf(Recurse(by_x, lo, mid, by_y_scratch),
+                            Recurse(by_x, mid, hi, by_y_scratch));
+
+  // Merge the two y-sorted halves in place (via scratch).
+  std::merge(by_x.begin() + lo, by_x.begin() + mid, by_x.begin() + mid,
+             by_x.begin() + hi, by_y_scratch.begin(),
+             [](const Point& a, const Point& b) { return a.y < b.y; });
+  std::copy(by_y_scratch.begin(), by_y_scratch.begin() + n, by_x.begin() + lo);
+
+  // Collect the strip around the dividing line and scan neighbors in y.
+  std::vector<Point> strip;
+  for (size_t i = lo; i < hi; ++i) {
+    if (std::abs(by_x[i].x - mid_x) < best.distance) strip.push_back(by_x[i]);
+  }
+  for (size_t i = 0; i < strip.size(); ++i) {
+    for (size_t j = i + 1;
+         j < strip.size() && strip[j].y - strip[i].y < best.distance; ++j) {
+      const double d = Distance(strip[i], strip[j]);
+      if (d < best.distance) best = {strip[i], strip[j], d};
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+PointPair ClosestPairBruteForce(const std::vector<Point>& points) {
+  PointPair best;
+  best.distance = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < points.size(); ++i) {
+    for (size_t j = i + 1; j < points.size(); ++j) {
+      const double d = Distance(points[i], points[j]);
+      if (d < best.distance) best = {points[i], points[j], d};
+    }
+  }
+  return best;
+}
+
+PointPair ClosestPair(std::vector<Point> points) {
+  if (points.size() < 2) {
+    PointPair none;
+    none.distance = std::numeric_limits<double>::infinity();
+    return none;
+  }
+  std::sort(points.begin(), points.end());
+  std::vector<Point> scratch(points.size());
+  return Recurse(points, 0, points.size(), scratch);
+}
+
+}  // namespace shadoop

@@ -1,0 +1,28 @@
+#ifndef SHADOOP_GEOMETRY_CLOSEST_PAIR_H_
+#define SHADOOP_GEOMETRY_CLOSEST_PAIR_H_
+
+#include <utility>
+#include <vector>
+
+#include "geometry/point.h"
+
+namespace shadoop {
+
+/// Result of a closest/farthest pair computation.
+struct PointPair {
+  Point first;
+  Point second;
+  double distance = 0.0;
+};
+
+/// Divide-and-conquer closest pair in O(n log n). Requires >= 2 points;
+/// with fewer, returns a pair with infinite distance.
+PointPair ClosestPair(std::vector<Point> points);
+
+/// O(n^2) reference implementation used by tests and as the small-input
+/// base case.
+PointPair ClosestPairBruteForce(const std::vector<Point>& points);
+
+}  // namespace shadoop
+
+#endif  // SHADOOP_GEOMETRY_CLOSEST_PAIR_H_

@@ -1,0 +1,51 @@
+#include "geometry/convex_hull.h"
+
+#include <algorithm>
+
+namespace shadoop {
+
+std::vector<Point> ConvexHull(std::vector<Point> points) {
+  std::sort(points.begin(), points.end());
+  points.erase(std::unique(points.begin(), points.end()), points.end());
+  const size_t n = points.size();
+  if (n <= 2) return points;
+
+  std::vector<Point> hull(2 * n);
+  size_t k = 0;
+  // Lower chain.
+  for (size_t i = 0; i < n; ++i) {
+    while (k >= 2 && Cross(hull[k - 2], hull[k - 1], points[i]) <= 0) --k;
+    hull[k++] = points[i];
+  }
+  // Upper chain.
+  const size_t lower_size = k + 1;
+  for (size_t i = n - 1; i-- > 0;) {
+    while (k >= lower_size && Cross(hull[k - 2], hull[k - 1], points[i]) <= 0) {
+      --k;
+    }
+    hull[k++] = points[i];
+  }
+  hull.resize(k - 1);  // Last point equals the first.
+  return hull;
+}
+
+bool HullContains(const std::vector<Point>& hull, const Point& p) {
+  if (hull.empty()) return false;
+  if (hull.size() == 1) return hull[0] == p;
+  if (hull.size() == 2) {
+    // Degenerate hull: point must be on the segment.
+    return Cross(hull[0], hull[1], p) == 0.0 &&
+           std::min(hull[0].x, hull[1].x) <= p.x &&
+           p.x <= std::max(hull[0].x, hull[1].x) &&
+           std::min(hull[0].y, hull[1].y) <= p.y &&
+           p.y <= std::max(hull[0].y, hull[1].y);
+  }
+  for (size_t i = 0; i < hull.size(); ++i) {
+    const Point& a = hull[i];
+    const Point& b = hull[(i + 1) % hull.size()];
+    if (Cross(a, b, p) < 0.0) return false;  // Right of a CCW edge: outside.
+  }
+  return true;
+}
+
+}  // namespace shadoop

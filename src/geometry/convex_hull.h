@@ -1,0 +1,22 @@
+#ifndef SHADOOP_GEOMETRY_CONVEX_HULL_H_
+#define SHADOOP_GEOMETRY_CONVEX_HULL_H_
+
+#include <vector>
+
+#include "geometry/point.h"
+
+namespace shadoop {
+
+/// Computes the convex hull of `points` with Andrew's monotone-chain
+/// algorithm in O(n log n). The result is in counter-clockwise order
+/// starting from the lexicographically smallest point; collinear boundary
+/// points are dropped. Inputs of size 0/1/2 return themselves
+/// (deduplicated).
+std::vector<Point> ConvexHull(std::vector<Point> points);
+
+/// True if `p` lies inside or on the hull polygon `hull` (CCW order).
+bool HullContains(const std::vector<Point>& hull, const Point& p);
+
+}  // namespace shadoop
+
+#endif  // SHADOOP_GEOMETRY_CONVEX_HULL_H_

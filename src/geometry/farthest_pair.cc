@@ -1,0 +1,48 @@
+#include "geometry/farthest_pair.h"
+
+#include "geometry/convex_hull.h"
+
+namespace shadoop {
+
+PointPair FarthestPairOnHull(const std::vector<Point>& hull) {
+  PointPair best;
+  const size_t n = hull.size();
+  if (n < 2) return best;
+  if (n == 2) return {hull[0], hull[1], Distance(hull[0], hull[1])};
+
+  // Rotating calipers: advance the antipodal index while the triangle area
+  // (distance to the current edge) keeps growing.
+  size_t j = 1;
+  for (size_t i = 0; i < n; ++i) {
+    const Point& a = hull[i];
+    const Point& b = hull[(i + 1) % n];
+    while (std::abs(Cross(a, b, hull[(j + 1) % n])) >
+           std::abs(Cross(a, b, hull[j]))) {
+      j = (j + 1) % n;
+    }
+    for (const Point& candidate : {hull[j], hull[(j + 1) % n]}) {
+      for (const Point& base : {a, b}) {
+        const double d = Distance(base, candidate);
+        if (d > best.distance) best = {base, candidate, d};
+      }
+    }
+  }
+  return best;
+}
+
+PointPair FarthestPair(const std::vector<Point>& points) {
+  return FarthestPairOnHull(ConvexHull(points));
+}
+
+PointPair FarthestPairBruteForce(const std::vector<Point>& points) {
+  PointPair best;
+  for (size_t i = 0; i < points.size(); ++i) {
+    for (size_t j = i + 1; j < points.size(); ++j) {
+      const double d = Distance(points[i], points[j]);
+      if (d > best.distance) best = {points[i], points[j], d};
+    }
+  }
+  return best;
+}
+
+}  // namespace shadoop

@@ -1,0 +1,23 @@
+#ifndef SHADOOP_GEOMETRY_FARTHEST_PAIR_H_
+#define SHADOOP_GEOMETRY_FARTHEST_PAIR_H_
+
+#include <vector>
+
+#include "geometry/closest_pair.h"
+#include "geometry/point.h"
+
+namespace shadoop {
+
+/// Farthest pair (diameter) of a point set via convex hull + rotating
+/// calipers in O(n log n). With fewer than 2 points, returns distance 0.
+PointPair FarthestPair(const std::vector<Point>& points);
+
+/// Rotating calipers over an already-computed CCW hull.
+PointPair FarthestPairOnHull(const std::vector<Point>& hull);
+
+/// O(n^2) reference used by tests.
+PointPair FarthestPairBruteForce(const std::vector<Point>& points);
+
+}  // namespace shadoop
+
+#endif  // SHADOOP_GEOMETRY_FARTHEST_PAIR_H_

@@ -1,0 +1,60 @@
+#ifndef SHADOOP_GEOMETRY_POINT_H_
+#define SHADOOP_GEOMETRY_POINT_H_
+
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace shadoop {
+
+/// A 2-D point with double coordinates. Passive value type; all spatial
+/// records in the system ultimately reduce to points or envelopes.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Point() = default;
+  constexpr Point(double x_in, double y_in) : x(x_in), y(y_in) {}
+
+  friend constexpr bool operator==(const Point& a, const Point& b) {
+    return a.x == b.x && a.y == b.y;
+  }
+  friend constexpr bool operator!=(const Point& a, const Point& b) {
+    return !(a == b);
+  }
+
+  /// Lexicographic (x, then y); the canonical sort order used by the
+  /// divide-and-conquer geometry algorithms.
+  friend constexpr bool operator<(const Point& a, const Point& b) {
+    return a.x < b.x || (a.x == b.x && a.y < b.y);
+  }
+};
+
+inline double SquaredDistance(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+inline double Distance(const Point& a, const Point& b) {
+  return std::sqrt(SquaredDistance(a, b));
+}
+
+/// Twice the signed area of triangle (a, b, c): > 0 for a counter-clockwise
+/// turn, < 0 for clockwise, 0 for collinear.
+inline double Cross(const Point& a, const Point& b, const Point& c) {
+  return (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x);
+}
+
+struct PointHash {
+  size_t operator()(const Point& p) const {
+    size_t hx = std::hash<double>{}(p.x);
+    size_t hy = std::hash<double>{}(p.y);
+    return hx ^ (hy + 0x9e3779b97f4a7c15ULL + (hx << 6) + (hx >> 2));
+  }
+};
+
+}  // namespace shadoop
+
+#endif  // SHADOOP_GEOMETRY_POINT_H_

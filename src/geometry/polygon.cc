@@ -1,0 +1,116 @@
+#include "geometry/polygon.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace shadoop {
+
+double Polygon::SignedArea() const {
+  if (IsEmpty()) return 0.0;
+  double sum = 0.0;
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    const Point& p = ring_[i];
+    const Point& q = ring_[(i + 1) % ring_.size()];
+    sum += p.x * q.y - q.x * p.y;
+  }
+  return sum / 2.0;
+}
+
+double Polygon::Perimeter() const {
+  if (IsEmpty()) return 0.0;
+  double sum = 0.0;
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    sum += Distance(ring_[i], ring_[(i + 1) % ring_.size()]);
+  }
+  return sum;
+}
+
+Envelope Polygon::Bounds() const {
+  Envelope e;
+  for (const Point& p : ring_) e.ExpandToInclude(p);
+  return e;
+}
+
+namespace {
+
+/// Even-odd crossing count; unreliable exactly on the boundary, so both
+/// public predicates resolve boundary points explicitly first.
+bool EvenOddInside(const std::vector<Point>& ring, const Point& p) {
+  bool inside = false;
+  for (size_t i = 0, j = ring.size() - 1; i < ring.size(); j = i++) {
+    const Point& a = ring[i];
+    const Point& b = ring[j];
+    if ((a.y > p.y) != (b.y > p.y)) {
+      const double x_cross = (b.x - a.x) * (p.y - a.y) / (b.y - a.y) + a.x;
+      if (p.x < x_cross) inside = !inside;
+    }
+  }
+  return inside;
+}
+
+bool OnBoundary(const std::vector<Point>& ring, const Point& p) {
+  for (size_t i = 0; i < ring.size(); ++i) {
+    const Segment edge(ring[i], ring[(i + 1) % ring.size()]);
+    if (PointSegmentDistance(p, edge) == 0.0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool Polygon::Contains(const Point& p) const {
+  if (IsEmpty()) return false;
+  return OnBoundary(ring_, p) || EvenOddInside(ring_, p);
+}
+
+bool Polygon::ContainsInterior(const Point& p) const {
+  if (IsEmpty()) return false;
+  return !OnBoundary(ring_, p) && EvenOddInside(ring_, p);
+}
+
+bool Polygon::Intersects(const Polygon& other) const {
+  if (IsEmpty() || other.IsEmpty()) return false;
+  if (!Bounds().Intersects(other.Bounds())) return false;
+  for (const Segment& s : Edges()) {
+    for (const Segment& t : other.Edges()) {
+      if (SegmentsIntersect(s, t)) return true;
+    }
+  }
+  // No edge crossings: one polygon may still contain the other entirely.
+  return Contains(other.ring().front()) || other.Contains(ring_.front());
+}
+
+std::vector<Segment> Polygon::Edges() const {
+  std::vector<Segment> edges;
+  if (IsEmpty()) return edges;
+  edges.reserve(ring_.size());
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    edges.emplace_back(ring_[i], ring_[(i + 1) % ring_.size()]);
+  }
+  return edges;
+}
+
+void Polygon::Normalize() {
+  if (!IsEmpty() && SignedArea() < 0.0) {
+    std::reverse(ring_.begin(), ring_.end());
+  }
+}
+
+Polygon MakeRectPolygon(const Envelope& box) {
+  if (box.IsEmpty()) return Polygon();
+  return Polygon({box.BottomLeft(), box.BottomRight(), box.TopRight(),
+                  box.TopLeft()});
+}
+
+Polygon MakeRegularPolygon(const Point& center, double radius, int sides) {
+  std::vector<Point> ring;
+  ring.reserve(sides);
+  for (int i = 0; i < sides; ++i) {
+    const double angle = 2.0 * M_PI * i / sides;
+    ring.emplace_back(center.x + radius * std::cos(angle),
+                      center.y + radius * std::sin(angle));
+  }
+  return Polygon(std::move(ring));
+}
+
+}  // namespace shadoop

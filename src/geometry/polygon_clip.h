@@ -1,0 +1,24 @@
+#ifndef SHADOOP_GEOMETRY_POLYGON_CLIP_H_
+#define SHADOOP_GEOMETRY_POLYGON_CLIP_H_
+
+#include <optional>
+
+#include "geometry/envelope.h"
+#include "geometry/polygon.h"
+#include "geometry/segment.h"
+
+namespace shadoop {
+
+/// Clips `poly` to the axis-aligned `box` with the Sutherland–Hodgman
+/// algorithm. Returns an empty polygon when the intersection is empty or
+/// degenerate. The clip region is convex, so the result is a single ring.
+Polygon ClipPolygonToBox(const Polygon& poly, const Envelope& box);
+
+/// Clips segment `s` to `box` (Liang–Barsky). Returns nullopt when the
+/// segment lies entirely outside, or when the clipped portion degenerates
+/// to a point.
+std::optional<Segment> ClipSegmentToBox(const Segment& s, const Envelope& box);
+
+}  // namespace shadoop
+
+#endif  // SHADOOP_GEOMETRY_POLYGON_CLIP_H_

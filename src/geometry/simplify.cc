@@ -1,0 +1,77 @@
+#include "geometry/simplify.h"
+
+#include <algorithm>
+
+#include "geometry/segment.h"
+
+namespace shadoop {
+namespace {
+
+void Recurse(const std::vector<Point>& points, size_t first, size_t last,
+             double tolerance, std::vector<bool>* keep) {
+  if (last <= first + 1) return;
+  const Segment chord(points[first], points[last]);
+  double max_dist = -1.0;
+  size_t max_index = first;
+  for (size_t i = first + 1; i < last; ++i) {
+    const double d = PointSegmentDistance(points[i], chord);
+    if (d > max_dist) {
+      max_dist = d;
+      max_index = i;
+    }
+  }
+  if (max_dist > tolerance) {
+    (*keep)[max_index] = true;
+    Recurse(points, first, max_index, tolerance, keep);
+    Recurse(points, max_index, last, tolerance, keep);
+  }
+}
+
+}  // namespace
+
+std::vector<Point> SimplifyPolyline(const std::vector<Point>& points,
+                                    double tolerance) {
+  if (tolerance <= 0.0 || points.size() <= 2) return points;
+  std::vector<bool> keep(points.size(), false);
+  keep.front() = true;
+  keep.back() = true;
+  Recurse(points, 0, points.size() - 1, tolerance, &keep);
+  std::vector<Point> result;
+  result.reserve(points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    if (keep[i]) result.push_back(points[i]);
+  }
+  return result;
+}
+
+Polygon SimplifyPolygon(const Polygon& polygon, double tolerance) {
+  if (tolerance <= 0.0 || polygon.NumVertices() <= 4) return polygon;
+  const std::vector<Point>& ring = polygon.ring();
+  // Split the closed ring at its lexicographic extremes; both halves keep
+  // their endpoints, so the halves re-join into a closed ring.
+  size_t lo = 0;
+  size_t hi = 0;
+  for (size_t i = 1; i < ring.size(); ++i) {
+    if (ring[i] < ring[lo]) lo = i;
+    if (ring[hi] < ring[i]) hi = i;
+  }
+  if (lo == hi) return polygon;
+  auto arc = [&ring](size_t from, size_t to) {
+    std::vector<Point> points;
+    for (size_t i = from; i != to; i = (i + 1) % ring.size()) {
+      points.push_back(ring[i]);
+    }
+    points.push_back(ring[to]);
+    return points;
+  };
+  std::vector<Point> half_a = SimplifyPolyline(arc(lo, hi), tolerance);
+  const std::vector<Point> half_b = SimplifyPolyline(arc(hi, lo), tolerance);
+  // Join: half_a ends where half_b begins and vice versa.
+  half_a.insert(half_a.end(), half_b.begin() + 1, half_b.end() - 1);
+  if (half_a.size() < 3) return polygon;
+  Polygon simplified(std::move(half_a));
+  if (simplified.Area() == 0.0) return polygon;
+  return simplified;
+}
+
+}  // namespace shadoop

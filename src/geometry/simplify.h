@@ -1,0 +1,25 @@
+#ifndef SHADOOP_GEOMETRY_SIMPLIFY_H_
+#define SHADOOP_GEOMETRY_SIMPLIFY_H_
+
+#include <vector>
+
+#include "geometry/point.h"
+#include "geometry/polygon.h"
+
+namespace shadoop {
+
+/// Douglas–Peucker polyline simplification: drops vertices that deviate
+/// from the simplified shape by less than `tolerance`. Endpoints are
+/// always kept. A tolerance <= 0 returns the input unchanged.
+std::vector<Point> SimplifyPolyline(const std::vector<Point>& points,
+                                    double tolerance);
+
+/// Simplifies a polygon ring (treated as a closed polyline split at its
+/// two extreme vertices so the result stays closed and simple for convex
+/// and mildly concave shapes). Never returns fewer than 3 vertices; if
+/// simplification would collapse the ring, the original is returned.
+Polygon SimplifyPolygon(const Polygon& polygon, double tolerance);
+
+}  // namespace shadoop
+
+#endif  // SHADOOP_GEOMETRY_SIMPLIFY_H_

@@ -1,0 +1,76 @@
+#include "geometry/skyline.h"
+
+#include <algorithm>
+
+namespace shadoop {
+namespace {
+
+/// Maps a point into the kMaxMax frame for the given direction so that one
+/// sweep implementation serves all four variants.
+Point ToMaxMaxFrame(const Point& p, SkylineDominance dir) {
+  switch (dir) {
+    case SkylineDominance::kMaxMax:
+      return p;
+    case SkylineDominance::kMaxMin:
+      return Point(p.x, -p.y);
+    case SkylineDominance::kMinMax:
+      return Point(-p.x, p.y);
+    case SkylineDominance::kMinMin:
+      return Point(-p.x, -p.y);
+  }
+  return p;
+}
+
+Point FromMaxMaxFrame(const Point& p, SkylineDominance dir) {
+  return ToMaxMaxFrame(p, dir);  // The mapping is an involution.
+}
+
+}  // namespace
+
+bool Dominates(const Point& a, const Point& b, SkylineDominance dir) {
+  const Point fa = ToMaxMaxFrame(a, dir);
+  const Point fb = ToMaxMaxFrame(b, dir);
+  return fa.x >= fb.x && fa.y >= fb.y && (fa.x > fb.x || fa.y > fb.y);
+}
+
+std::vector<Point> Skyline(std::vector<Point> points, SkylineDominance dir) {
+  for (Point& p : points) p = ToMaxMaxFrame(p, dir);
+  // Sweep right-to-left keeping the running maximum y: a point survives iff
+  // its y exceeds every y seen at larger (or equal, with larger y) x.
+  std::sort(points.begin(), points.end());
+  points.erase(std::unique(points.begin(), points.end()), points.end());
+  std::vector<Point> result;
+  double max_y = -std::numeric_limits<double>::infinity();
+  for (size_t i = points.size(); i-- > 0;) {
+    // Skip points sharing x with a later (higher-y) point: sort guarantees
+    // the last point of an x-group has the largest y.
+    if (i + 1 < points.size() && points[i].x == points[i + 1].x) continue;
+    if (points[i].y > max_y) {
+      result.push_back(points[i]);
+      max_y = points[i].y;
+    }
+  }
+  for (Point& p : result) p = FromMaxMaxFrame(p, dir);
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+std::vector<Point> SkylineBruteForce(const std::vector<Point>& points,
+                                     SkylineDominance dir) {
+  std::vector<Point> result;
+  for (const Point& p : points) {
+    bool dominated = false;
+    for (const Point& q : points) {
+      if (Dominates(q, p, dir)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) result.push_back(p);
+  }
+  std::sort(result.begin(), result.end());
+  result.erase(std::unique(result.begin(), result.end()), result.end());
+  return result;
+}
+
+}  // namespace shadoop

@@ -1,0 +1,31 @@
+#ifndef SHADOOP_GEOMETRY_SKYLINE_H_
+#define SHADOOP_GEOMETRY_SKYLINE_H_
+
+#include <vector>
+
+#include "geometry/point.h"
+
+namespace shadoop {
+
+/// Dominance direction for the 2-D skyline. kMaxMax is the classical
+/// "maximal points" skyline (a point dominates another if both coordinates
+/// are >=, one strictly); the four variants together enumerate the corner
+/// staircases used by the convex-hull filter step.
+enum class SkylineDominance { kMaxMax, kMaxMin, kMinMax, kMinMin };
+
+/// True if `a` dominates `b` under `dir`.
+bool Dominates(const Point& a, const Point& b, SkylineDominance dir);
+
+/// Skyline (set of non-dominated points) in O(n log n), returned sorted by
+/// increasing x. Duplicate points are collapsed.
+std::vector<Point> Skyline(std::vector<Point> points,
+                           SkylineDominance dir = SkylineDominance::kMaxMax);
+
+/// O(n^2) reference used by tests.
+std::vector<Point> SkylineBruteForce(
+    const std::vector<Point>& points,
+    SkylineDominance dir = SkylineDominance::kMaxMax);
+
+}  // namespace shadoop
+
+#endif  // SHADOOP_GEOMETRY_SKYLINE_H_

@@ -1,0 +1,159 @@
+#include "geometry/wkt.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace shadoop {
+namespace {
+
+/// Consumes an expected keyword (case-insensitive) and following blanks.
+Status ExpectKeyword(std::string_view& text, std::string_view keyword) {
+  text = StripWhitespace(text);
+  if (!StartsWithIgnoreCase(text, keyword)) {
+    return Status::ParseError("expected '" + std::string(keyword) +
+                              "' in WKT: '" + std::string(text) + "'");
+  }
+  text.remove_prefix(keyword.size());
+  text = StripWhitespace(text);
+  return Status::OK();
+}
+
+Status ExpectChar(std::string_view& text, char c) {
+  text = StripWhitespace(text);
+  if (text.empty() || text.front() != c) {
+    return Status::ParseError(std::string("expected '") + c + "' in WKT");
+  }
+  text.remove_prefix(1);
+  text = StripWhitespace(text);
+  return Status::OK();
+}
+
+/// Parses "x y" coordinate pairs separated by commas until the closing ')'.
+Result<std::vector<Point>> ParseCoordinateList(std::string_view& text) {
+  std::vector<Point> points;
+  for (;;) {
+    text = StripWhitespace(text);
+    size_t end = text.find_first_of(",)");
+    if (end == std::string_view::npos) {
+      return Status::ParseError("unterminated coordinate list in WKT");
+    }
+    auto coords = SplitWhitespace(text.substr(0, end));
+    if (coords.size() != 2) {
+      return Status::ParseError("expected 'x y' coordinate in WKT, got '" +
+                                std::string(text.substr(0, end)) + "'");
+    }
+    SHADOOP_ASSIGN_OR_RETURN(double x, ParseDouble(coords[0]));
+    SHADOOP_ASSIGN_OR_RETURN(double y, ParseDouble(coords[1]));
+    points.emplace_back(x, y);
+    const char delim = text[end];
+    text.remove_prefix(end + 1);
+    if (delim == ')') break;
+  }
+  return points;
+}
+
+std::string CoordinateListToString(const std::vector<Point>& points) {
+  std::string out;
+  for (size_t i = 0; i < points.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += FormatDouble(points[i].x);
+    out += " ";
+    out += FormatDouble(points[i].y);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ToWkt(const Point& p) {
+  return "POINT (" + FormatDouble(p.x) + " " + FormatDouble(p.y) + ")";
+}
+
+std::string ToWkt(const Polygon& poly) {
+  if (poly.IsEmpty()) return "POLYGON EMPTY";
+  // WKT rings repeat the first vertex at the end.
+  std::vector<Point> closed = poly.ring();
+  closed.push_back(closed.front());
+  return "POLYGON ((" + CoordinateListToString(closed) + "))";
+}
+
+std::string LineStringToWkt(const std::vector<Point>& points) {
+  return "LINESTRING (" + CoordinateListToString(points) + ")";
+}
+
+Result<Point> ParsePointWkt(std::string_view text) {
+  SHADOOP_RETURN_NOT_OK(ExpectKeyword(text, "POINT"));
+  SHADOOP_RETURN_NOT_OK(ExpectChar(text, '('));
+  SHADOOP_ASSIGN_OR_RETURN(std::vector<Point> pts, ParseCoordinateList(text));
+  if (pts.size() != 1) {
+    return Status::ParseError("POINT must contain exactly one coordinate");
+  }
+  return pts.front();
+}
+
+Result<Polygon> ParsePolygonWkt(std::string_view text) {
+  SHADOOP_RETURN_NOT_OK(ExpectKeyword(text, "POLYGON"));
+  SHADOOP_RETURN_NOT_OK(ExpectChar(text, '('));
+  SHADOOP_RETURN_NOT_OK(ExpectChar(text, '('));
+  SHADOOP_ASSIGN_OR_RETURN(std::vector<Point> ring, ParseCoordinateList(text));
+  text = StripWhitespace(text);
+  if (!text.empty() && text.front() == ',') {
+    return Status::ParseError("polygons with holes are not supported");
+  }
+  SHADOOP_RETURN_NOT_OK(ExpectChar(text, ')'));
+  if (ring.size() >= 2 && ring.front() == ring.back()) ring.pop_back();
+  if (ring.size() < 3) {
+    return Status::ParseError("POLYGON ring needs at least 3 distinct points");
+  }
+  return Polygon(std::move(ring));
+}
+
+Result<std::vector<Point>> ParseLineStringWkt(std::string_view text) {
+  SHADOOP_RETURN_NOT_OK(ExpectKeyword(text, "LINESTRING"));
+  SHADOOP_RETURN_NOT_OK(ExpectChar(text, '('));
+  SHADOOP_ASSIGN_OR_RETURN(std::vector<Point> pts, ParseCoordinateList(text));
+  if (pts.size() < 2) {
+    return Status::ParseError("LINESTRING needs at least 2 points");
+  }
+  return pts;
+}
+
+std::string PointToCsv(const Point& p) {
+  return FormatDouble(p.x) + "," + FormatDouble(p.y);
+}
+
+std::string EnvelopeToCsv(const Envelope& e) {
+  return FormatDouble(e.min_x()) + "," + FormatDouble(e.min_y()) + "," +
+         FormatDouble(e.max_x()) + "," + FormatDouble(e.max_y());
+}
+
+Result<Point> ParsePointCsv(std::string_view text) {
+  auto fields = SplitString(StripWhitespace(text), ',');
+  if (fields.size() < 2) {
+    return Status::ParseError("point record needs 'x,y': '" +
+                              std::string(text) + "'");
+  }
+  SHADOOP_ASSIGN_OR_RETURN(double x, ParseDouble(fields[0]));
+  SHADOOP_ASSIGN_OR_RETURN(double y, ParseDouble(fields[1]));
+  return Point(x, y);
+}
+
+Result<Envelope> ParseEnvelopeCsv(std::string_view text) {
+  auto fields = SplitString(StripWhitespace(text), ',');
+  if (fields.size() < 4) {
+    return Status::ParseError("rectangle record needs 'x1,y1,x2,y2': '" +
+                              std::string(text) + "'");
+  }
+  SHADOOP_ASSIGN_OR_RETURN(double x1, ParseDouble(fields[0]));
+  SHADOOP_ASSIGN_OR_RETURN(double y1, ParseDouble(fields[1]));
+  SHADOOP_ASSIGN_OR_RETURN(double x2, ParseDouble(fields[2]));
+  SHADOOP_ASSIGN_OR_RETURN(double y2, ParseDouble(fields[3]));
+  if (x2 < x1 || y2 < y1) {
+    return Status::ParseError("rectangle with inverted bounds: '" +
+                              std::string(text) + "'");
+  }
+  return Envelope(x1, y1, x2, y2);
+}
+
+}  // namespace shadoop

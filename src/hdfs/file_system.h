@@ -1,0 +1,166 @@
+#ifndef SHADOOP_HDFS_FILE_SYSTEM_H_
+#define SHADOOP_HDFS_FILE_SYSTEM_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "hdfs/hdfs_config.h"
+
+namespace shadoop::hdfs {
+
+/// Globally unique block identifier.
+using BlockId = uint64_t;
+
+/// Per-block metadata held by the namenode.
+struct BlockMeta {
+  BlockId id = 0;
+  size_t num_bytes = 0;
+  size_t num_records = 0;
+  std::vector<int> replica_nodes;  // Datanode ids holding a copy.
+};
+
+/// Per-file metadata held by the namenode.
+struct FileMeta {
+  std::string path;
+  std::vector<BlockMeta> blocks;
+  size_t total_bytes = 0;
+  size_t total_records = 0;
+};
+
+/// Byte-level I/O accounting; the MapReduce cost model reads these.
+struct IoStats {
+  std::atomic<uint64_t> bytes_written{0};
+  std::atomic<uint64_t> bytes_read{0};
+  std::atomic<uint64_t> blocks_written{0};
+  std::atomic<uint64_t> blocks_read{0};
+
+  void Reset() {
+    bytes_written = 0;
+    bytes_read = 0;
+    blocks_written = 0;
+    blocks_read = 0;
+  }
+};
+
+class FileSystem;
+
+/// Streaming writer that packs records (text lines) into blocks, cutting
+/// a new block whenever the current one reaches the configured size.
+/// Close() must be called to publish the file to the namenode.
+class FileWriter {
+ public:
+  ~FileWriter();
+  FileWriter(const FileWriter&) = delete;
+  FileWriter& operator=(const FileWriter&) = delete;
+
+  /// Appends one record. `line` must not contain '\n'.
+  void Append(std::string_view line);
+
+  /// Forces a block boundary after the current record. The spatial index
+  /// builder uses this to store exactly one partition per block, so that
+  /// the global index can address partitions as (file, block) pairs.
+  void EndBlock();
+
+  /// Disables size-based block cuts: blocks end only at EndBlock(). The
+  /// index builder sets this so a partition slightly larger than the
+  /// block size still occupies exactly one block.
+  void set_auto_seal(bool auto_seal) { auto_seal_ = auto_seal; }
+
+  /// Seals the current block (if non-empty) and registers the file.
+  Status Close();
+
+ private:
+  friend class FileSystem;
+  FileWriter(FileSystem* fs, std::string path);
+  void SealCurrentBlock();
+
+  FileSystem* fs_;
+  FileMeta meta_;
+  std::string current_block_;
+  size_t current_records_ = 0;
+  bool closed_ = false;
+  bool auto_seal_ = true;
+};
+
+/// In-process simulation of HDFS: a namenode (file → blocks → replica
+/// placement) plus `num_datanodes` block stores. Thread-safe; the
+/// MapReduce engine reads blocks from many worker threads concurrently.
+class FileSystem {
+ public:
+  explicit FileSystem(HdfsConfig config = HdfsConfig());
+
+  FileSystem(const FileSystem&) = delete;
+  FileSystem& operator=(const FileSystem&) = delete;
+
+  const HdfsConfig& config() const { return config_; }
+
+  /// Creates a file for streaming writes. Fails if the path exists.
+  Result<std::unique_ptr<FileWriter>> Create(const std::string& path);
+
+  /// Convenience: writes all `lines` as one file.
+  Status WriteLines(const std::string& path,
+                    const std::vector<std::string>& lines);
+
+  bool Exists(const std::string& path) const;
+
+  Result<FileMeta> GetFileMeta(const std::string& path) const;
+
+  /// Reads the records of one block. Fails with IoError when every replica
+  /// lives on a dead datanode.
+  Result<std::vector<std::string>> ReadBlock(const std::string& path,
+                                             size_t block_index) const;
+
+  /// Reads a whole file in block order.
+  Result<std::vector<std::string>> ReadLines(const std::string& path) const;
+
+  Status Delete(const std::string& path);
+
+  /// Renames src to dst; fails if dst exists.
+  Status Rename(const std::string& src, const std::string& dst);
+
+  /// All paths with the given prefix, sorted.
+  std::vector<std::string> ListFiles(const std::string& prefix) const;
+
+  /// Failure injection: marks a datanode dead (its replicas unreadable) or
+  /// alive again.
+  void SetNodeAlive(int node_id, bool alive);
+  int CountAliveNodes() const;
+
+  IoStats& io_stats() { return io_stats_; }
+  const IoStats& io_stats() const { return io_stats_; }
+
+ private:
+  friend class FileWriter;
+
+  /// Stores a sealed block on `replication` distinct datanodes
+  /// (round-robin placement) and returns its metadata.
+  BlockMeta StoreBlock(std::string payload, size_t num_records);
+  Status Register(FileMeta meta);
+  void DropBlocks(const FileMeta& meta);
+
+  HdfsConfig config_;
+  mutable std::mutex mu_;
+  std::map<std::string, FileMeta> files_;
+  // Datanode storage: node id -> block id -> payload. Payloads are shared
+  // so replicas do not multiply memory in the simulation.
+  std::vector<std::map<BlockId, std::shared_ptr<const std::string>>> nodes_;
+  std::vector<bool> node_alive_;
+  BlockId next_block_id_ = 1;
+  int next_placement_node_ = 0;
+  mutable IoStats io_stats_;
+};
+
+/// Splits a block payload into records (lines). Exposed for the record
+/// readers.
+std::vector<std::string> SplitBlockIntoRecords(const std::string& payload);
+
+}  // namespace shadoop::hdfs
+
+#endif  // SHADOOP_HDFS_FILE_SYSTEM_H_

@@ -1,0 +1,28 @@
+#ifndef SHADOOP_HDFS_HDFS_CONFIG_H_
+#define SHADOOP_HDFS_HDFS_CONFIG_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace shadoop::hdfs {
+
+/// Tuning knobs of the simulated distributed file system. Real Hadoop
+/// defaults to 64 MB blocks; the simulator defaults to 256 KiB so that a
+/// laptop-scale dataset still spans enough blocks to exercise partition
+/// pruning, task scheduling and replication the way a cluster-scale
+/// dataset would.
+struct HdfsConfig {
+  /// Target block payload size in bytes. Blocks are split at record
+  /// boundaries so the actual size may exceed this by one record.
+  size_t block_size = 256 * 1024;
+
+  /// Number of simulated datanodes.
+  int num_datanodes = 25;
+
+  /// Copies of each block; reads survive up to replication-1 node losses.
+  int replication = 3;
+};
+
+}  // namespace shadoop::hdfs
+
+#endif  // SHADOOP_HDFS_HDFS_CONFIG_H_

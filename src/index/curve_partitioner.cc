@@ -1,0 +1,60 @@
+#include "index/curve_partitioner.h"
+
+#include <algorithm>
+
+#include "index/space_filling_curve.h"
+
+namespace shadoop::index {
+
+uint64_t CurvePartitioner::ValueOf(const Point& p) const {
+  return curve_ == Curve::kZOrder ? ZOrderValue(p, space_)
+                                  : HilbertValue(p, space_);
+}
+
+Status CurvePartitioner::Construct(const Envelope& space,
+                                   const std::vector<Point>& sample,
+                                   int target_partitions) {
+  if (space.IsEmpty()) {
+    return Status::InvalidArgument(
+        "curve partitioner needs a non-empty space");
+  }
+  if (target_partitions < 1) {
+    return Status::InvalidArgument("target_partitions must be >= 1");
+  }
+  space_ = space;
+  split_values_.clear();
+  extents_.clear();
+
+  if (sample.empty()) {
+    extents_.push_back(space);
+    return Status::OK();
+  }
+
+  std::vector<std::pair<uint64_t, Point>> keyed;
+  keyed.reserve(sample.size());
+  for (const Point& p : sample) keyed.emplace_back(ValueOf(p), p);
+  std::sort(keyed.begin(), keyed.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  const int cells = std::min<int>(target_partitions,
+                                  static_cast<int>(keyed.size()));
+  for (int c = 0; c < cells; ++c) {
+    const size_t begin = static_cast<size_t>(c) * keyed.size() / cells;
+    const size_t end = static_cast<size_t>(c + 1) * keyed.size() / cells;
+    Envelope extent;
+    for (size_t i = begin; i < end; ++i) extent.ExpandToInclude(keyed[i].second);
+    if (extent.IsEmpty()) extent = space;  // Empty run: fall back to space.
+    extents_.push_back(extent);
+    if (c > 0) split_values_.push_back(keyed[begin].first);
+  }
+  return Status::OK();
+}
+
+int CurvePartitioner::AssignPoint(const Point& p) const {
+  const uint64_t v = ValueOf(p);
+  return static_cast<int>(
+      std::upper_bound(split_values_.begin(), split_values_.end(), v) -
+      split_values_.begin());
+}
+
+}  // namespace shadoop::index

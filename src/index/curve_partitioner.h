@@ -1,0 +1,44 @@
+#ifndef SHADOOP_INDEX_CURVE_PARTITIONER_H_
+#define SHADOOP_INDEX_CURVE_PARTITIONER_H_
+
+#include <cstdint>
+
+#include "index/partitioner.h"
+
+namespace shadoop::index {
+
+/// Space-filling-curve partitioning (Z-order or Hilbert): sample points
+/// are sorted by curve value and cut into equal-count runs; a record is
+/// assigned to the run containing its center's curve value. Cells are not
+/// disjoint in 2-D space (curve ranges interleave spatially), so the cell
+/// extents reported to the global index are sample-derived MBRs.
+class CurvePartitioner : public Partitioner {
+ public:
+  enum class Curve { kZOrder, kHilbert };
+
+  explicit CurvePartitioner(Curve curve) : curve_(curve) {}
+
+  PartitionScheme scheme() const override {
+    return curve_ == Curve::kZOrder ? PartitionScheme::kZCurve
+                                    : PartitionScheme::kHilbert;
+  }
+
+  Status Construct(const Envelope& space, const std::vector<Point>& sample,
+                   int target_partitions) override;
+
+  int NumCells() const override { return static_cast<int>(extents_.size()); }
+  Envelope CellExtent(int id) const override { return extents_[id]; }
+  int AssignPoint(const Point& p) const override;
+
+ private:
+  uint64_t ValueOf(const Point& p) const;
+
+  Curve curve_;
+  Envelope space_;
+  std::vector<uint64_t> split_values_;  // Size: cells - 1, sorted.
+  std::vector<Envelope> extents_;       // Sample-derived MBR per cell.
+};
+
+}  // namespace shadoop::index
+
+#endif  // SHADOOP_INDEX_CURVE_PARTITIONER_H_

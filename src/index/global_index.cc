@@ -1,0 +1,80 @@
+#include "index/global_index.h"
+
+#include <limits>
+
+#include "common/string_util.h"
+#include "geometry/wkt.h"
+
+namespace shadoop::index {
+
+Envelope GlobalIndex::Bounds() const {
+  Envelope bounds;
+  for (const Partition& p : partitions_) bounds.ExpandToInclude(p.mbr);
+  return bounds;
+}
+
+std::vector<int> GlobalIndex::OverlappingPartitions(
+    const Envelope& query) const {
+  std::vector<int> ids;
+  for (const Partition& p : partitions_) {
+    if (p.mbr.Intersects(query)) ids.push_back(p.id);
+  }
+  return ids;
+}
+
+int GlobalIndex::NearestPartition(const Point& p) const {
+  int best = -1;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (const Partition& part : partitions_) {
+    const double d = part.mbr.MinDistance(p);
+    if (d < best_dist) {
+      best_dist = d;
+      best = part.id;
+    }
+  }
+  return best;
+}
+
+std::vector<std::string> GlobalIndex::ToLines() const {
+  std::vector<std::string> lines;
+  lines.reserve(partitions_.size());
+  for (const Partition& p : partitions_) {
+    lines.push_back(std::to_string(p.id) + "," +
+                    std::to_string(p.block_index) + "," +
+                    EnvelopeToCsv(p.cell) + "," + EnvelopeToCsv(p.mbr) + "," +
+                    std::to_string(p.num_records) + "," +
+                    std::to_string(p.num_bytes));
+  }
+  return lines;
+}
+
+Result<GlobalIndex> GlobalIndex::FromLines(
+    PartitionScheme scheme, const std::vector<std::string>& lines) {
+  std::vector<Partition> partitions;
+  partitions.reserve(lines.size());
+  for (const std::string& line : lines) {
+    auto fields = SplitString(line, ',');
+    if (fields.size() != 12) {
+      return Status::ParseError("bad master-file line: '" + line + "'");
+    }
+    Partition p;
+    SHADOOP_ASSIGN_OR_RETURN(int64_t id, ParseInt64(fields[0]));
+    SHADOOP_ASSIGN_OR_RETURN(int64_t block, ParseInt64(fields[1]));
+    double coords[8];
+    for (int i = 0; i < 8; ++i) {
+      SHADOOP_ASSIGN_OR_RETURN(coords[i], ParseDouble(fields[2 + i]));
+    }
+    SHADOOP_ASSIGN_OR_RETURN(int64_t records, ParseInt64(fields[10]));
+    SHADOOP_ASSIGN_OR_RETURN(int64_t bytes, ParseInt64(fields[11]));
+    p.id = static_cast<int>(id);
+    p.block_index = static_cast<size_t>(block);
+    p.cell = Envelope(coords[0], coords[1], coords[2], coords[3]);
+    p.mbr = Envelope(coords[4], coords[5], coords[6], coords[7]);
+    p.num_records = static_cast<size_t>(records);
+    p.num_bytes = static_cast<size_t>(bytes);
+    partitions.push_back(p);
+  }
+  return GlobalIndex(scheme, std::move(partitions));
+}
+
+}  // namespace shadoop::index

@@ -1,0 +1,54 @@
+#ifndef SHADOOP_INDEX_GLOBAL_INDEX_H_
+#define SHADOOP_INDEX_GLOBAL_INDEX_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "geometry/envelope.h"
+#include "geometry/point.h"
+#include "index/partition.h"
+
+namespace shadoop::index {
+
+/// The master-node view of a spatially indexed file: one Partition entry
+/// per data block, queried by the SpatialFileSplitter to prune blocks.
+/// Persisted as the "_master.<scheme>" companion file of the data file.
+class GlobalIndex {
+ public:
+  GlobalIndex() = default;
+  GlobalIndex(PartitionScheme scheme, std::vector<Partition> partitions)
+      : scheme_(scheme), partitions_(std::move(partitions)) {}
+
+  PartitionScheme scheme() const { return scheme_; }
+  bool IsDisjoint() const { return IsDisjointScheme(scheme_); }
+
+  const std::vector<Partition>& partitions() const { return partitions_; }
+  size_t NumPartitions() const { return partitions_.size(); }
+
+  /// MBR of the whole file.
+  Envelope Bounds() const;
+
+  /// Partition ids whose MBR intersects `query` — the built-in range
+  /// filter function.
+  std::vector<int> OverlappingPartitions(const Envelope& query) const;
+
+  /// Partition whose MBR is nearest to `p` (by MinDistance); -1 if the
+  /// index is empty. Seed partition of the kNN operation.
+  int NearestPartition(const Point& p) const;
+
+  /// Serialization to/from the master-file line format:
+  /// id,block,cell_x1,cell_y1,cell_x2,cell_y2,mbr_x1,mbr_y1,mbr_x2,mbr_y2,
+  /// records,bytes
+  std::vector<std::string> ToLines() const;
+  static Result<GlobalIndex> FromLines(PartitionScheme scheme,
+                                       const std::vector<std::string>& lines);
+
+ private:
+  PartitionScheme scheme_ = PartitionScheme::kNone;
+  std::vector<Partition> partitions_;
+};
+
+}  // namespace shadoop::index
+
+#endif  // SHADOOP_INDEX_GLOBAL_INDEX_H_

@@ -1,0 +1,50 @@
+#ifndef SHADOOP_INDEX_PARTITION_H_
+#define SHADOOP_INDEX_PARTITION_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "geometry/envelope.h"
+
+namespace shadoop::index {
+
+/// The spatial partitioning techniques supported by the indexing layer
+/// (Table 1 of the system's partitioning study).
+enum class PartitionScheme {
+  kNone,      // Default Hadoop: random (non-spatial) block placement.
+  kGrid,      // Uniform grid; disjoint.
+  kStr,       // Sort-tile-recursive on a sample; overlapping (one copy).
+  kStrPlus,   // STR tiling treated as disjoint cells; replicates shapes.
+  kQuadTree,  // Sample quad-tree leaves; disjoint.
+  kKdTree,    // Sample k-d tree leaves; disjoint.
+  kZCurve,    // Z-order range partitioning; overlapping.
+  kHilbert,   // Hilbert-curve range partitioning; overlapping.
+};
+
+/// True for techniques whose cells tile space without overlap (records
+/// whose extent crosses a boundary are replicated). Several operations
+/// (closest pair, the pruning-based CG algorithms) require this.
+bool IsDisjointScheme(PartitionScheme scheme);
+
+/// True for every spatially aware technique (everything except kNone).
+bool IsSpatialScheme(PartitionScheme scheme);
+
+const char* PartitionSchemeName(PartitionScheme scheme);
+Result<PartitionScheme> ParsePartitionScheme(const std::string& name);
+
+/// One cell of a global index: the region a partition is responsible for
+/// (`cell`, meaningful for disjoint schemes), the tight bounds of what it
+/// actually stores (`mbr`, used by filter functions), and its location in
+/// the indexed file (block `block_index` of the data file).
+struct Partition {
+  int id = 0;
+  size_t block_index = 0;
+  Envelope cell;
+  Envelope mbr;
+  size_t num_records = 0;
+  size_t num_bytes = 0;
+};
+
+}  // namespace shadoop::index
+
+#endif  // SHADOOP_INDEX_PARTITION_H_

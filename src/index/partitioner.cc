@@ -1,0 +1,58 @@
+#include "index/partitioner.h"
+
+#include "index/curve_partitioner.h"
+#include "index/grid_partitioner.h"
+#include "index/kdtree_partitioner.h"
+#include "index/quadtree_partitioner.h"
+#include "index/str_partitioner.h"
+
+namespace shadoop::index {
+
+std::vector<int> Partitioner::AssignEnvelope(const Envelope& extent) const {
+  // Degenerate (point) extents follow the half-open point assignment: a
+  // point on a shared cell edge belongs to exactly one cell, never two.
+  if (extent.Width() == 0.0 && extent.Height() == 0.0) {
+    return {AssignPoint(extent.Center())};
+  }
+  if (IsDisjoint()) {
+    std::vector<int> cells = OverlappingCells(extent);
+    if (cells.empty()) cells.push_back(AssignPoint(extent.Center()));
+    return cells;
+  }
+  return {AssignPoint(extent.Center())};
+}
+
+std::vector<int> Partitioner::OverlappingCells(const Envelope& extent) const {
+  std::vector<int> cells;
+  for (int id = 0; id < NumCells(); ++id) {
+    if (CellExtent(id).Intersects(extent)) cells.push_back(id);
+  }
+  return cells;
+}
+
+Result<std::unique_ptr<Partitioner>> MakePartitioner(PartitionScheme scheme) {
+  switch (scheme) {
+    case PartitionScheme::kGrid:
+      return std::unique_ptr<Partitioner>(new GridPartitioner());
+    case PartitionScheme::kStr:
+      return std::unique_ptr<Partitioner>(new StrPartitioner(false));
+    case PartitionScheme::kStrPlus:
+      return std::unique_ptr<Partitioner>(new StrPartitioner(true));
+    case PartitionScheme::kQuadTree:
+      return std::unique_ptr<Partitioner>(new QuadTreePartitioner());
+    case PartitionScheme::kKdTree:
+      return std::unique_ptr<Partitioner>(new KdTreePartitioner());
+    case PartitionScheme::kZCurve:
+      return std::unique_ptr<Partitioner>(
+          new CurvePartitioner(CurvePartitioner::Curve::kZOrder));
+    case PartitionScheme::kHilbert:
+      return std::unique_ptr<Partitioner>(
+          new CurvePartitioner(CurvePartitioner::Curve::kHilbert));
+    case PartitionScheme::kNone:
+      return Status::InvalidArgument(
+          "scheme 'none' has no partitioner (use the default Hadoop loader)");
+  }
+  return Status::InvalidArgument("unknown partition scheme");
+}
+
+}  // namespace shadoop::index

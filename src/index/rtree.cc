@@ -1,0 +1,131 @@
+#include "index/rtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+namespace shadoop::index {
+
+RTree::RTree(std::vector<Entry> entries, int leaf_capacity)
+    : entries_(std::move(entries)), capacity_(std::max(2, leaf_capacity)) {
+  if (entries_.empty()) return;
+
+  // --- STR packing of the leaf level ------------------------------------
+  const size_t n = entries_.size();
+  const size_t num_leaves = (n + capacity_ - 1) / capacity_;
+  const size_t num_slabs = static_cast<size_t>(
+      std::ceil(std::sqrt(static_cast<double>(num_leaves))));
+  const size_t slab_size =
+      ((num_leaves + num_slabs - 1) / num_slabs) * capacity_;
+
+  std::sort(entries_.begin(), entries_.end(),
+            [](const Entry& a, const Entry& b) {
+              return a.box.Center().x < b.box.Center().x;
+            });
+  for (size_t s = 0; s < n; s += slab_size) {
+    const size_t e = std::min(n, s + slab_size);
+    std::sort(entries_.begin() + s, entries_.begin() + e,
+              [](const Entry& a, const Entry& b) {
+                return a.box.Center().y < b.box.Center().y;
+              });
+  }
+
+  // Leaves over consecutive runs of `capacity_` entries.
+  std::vector<uint32_t> level;
+  for (size_t s = 0; s < n; s += capacity_) {
+    const size_t e = std::min(n, s + capacity_);
+    Node leaf;
+    leaf.is_leaf = true;
+    leaf.first = static_cast<uint32_t>(s);
+    leaf.last = static_cast<uint32_t>(e);
+    for (size_t i = s; i < e; ++i) leaf.box.ExpandToInclude(entries_[i].box);
+    level.push_back(static_cast<uint32_t>(nodes_.size()));
+    nodes_.push_back(leaf);
+  }
+
+  // --- Pack internal levels bottom-up (children are already in STR
+  // order, so consecutive grouping preserves locality) -------------------
+  while (level.size() > 1) {
+    std::vector<uint32_t> next;
+    for (size_t s = 0; s < level.size(); s += capacity_) {
+      const size_t e = std::min(level.size(), s + capacity_);
+      Node inner;
+      inner.is_leaf = false;
+      inner.first = level[s];
+      inner.last = level[e - 1] + 1;  // Children are contiguous in nodes_.
+      for (size_t i = s; i < e; ++i) {
+        inner.box.ExpandToInclude(nodes_[level[i]].box);
+      }
+      next.push_back(static_cast<uint32_t>(nodes_.size()));
+      nodes_.push_back(inner);
+    }
+    level = std::move(next);
+  }
+  root_ = level.front();
+}
+
+Envelope RTree::Bounds() const {
+  return nodes_.empty() ? Envelope() : nodes_[root_].box;
+}
+
+size_t RTree::Search(const Envelope& query, std::vector<uint32_t>* out) const {
+  if (nodes_.empty() || !nodes_[root_].box.Intersects(query)) return 0;
+  size_t visited = 0;
+  std::vector<uint32_t> stack = {root_};
+  while (!stack.empty()) {
+    const Node& node = nodes_[stack.back()];
+    stack.pop_back();
+    ++visited;
+    if (node.is_leaf) {
+      for (uint32_t i = node.first; i < node.last; ++i) {
+        if (entries_[i].box.Intersects(query)) {
+          out->push_back(entries_[i].payload);
+        }
+      }
+    } else {
+      // Prune before pushing: only subtrees whose box overlaps the query
+      // are ever visited.
+      for (uint32_t c = node.first; c < node.last; ++c) {
+        if (nodes_[c].box.Intersects(query)) stack.push_back(c);
+      }
+    }
+  }
+  return visited;
+}
+
+std::vector<uint32_t> RTree::NearestNeighbors(const Point& q, size_t k) const {
+  std::vector<uint32_t> result;
+  if (nodes_.empty() || k == 0) return result;
+
+  // Best-first search over nodes and entries by MinDistance.
+  struct Item {
+    double dist;
+    bool is_entry;
+    uint32_t index;
+  };
+  auto greater = [](const Item& a, const Item& b) { return a.dist > b.dist; };
+  std::priority_queue<Item, std::vector<Item>, decltype(greater)> queue(
+      greater);
+  queue.push({nodes_[root_].box.MinDistance(q), false, root_});
+  while (!queue.empty() && result.size() < k) {
+    const Item item = queue.top();
+    queue.pop();
+    if (item.is_entry) {
+      result.push_back(entries_[item.index].payload);
+      continue;
+    }
+    const Node& node = nodes_[item.index];
+    if (node.is_leaf) {
+      for (uint32_t i = node.first; i < node.last; ++i) {
+        queue.push({entries_[i].box.MinDistance(q), true, i});
+      }
+    } else {
+      for (uint32_t c = node.first; c < node.last; ++c) {
+        queue.push({nodes_[c].box.MinDistance(q), false, c});
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace shadoop::index

@@ -1,0 +1,63 @@
+#include "index/space_filling_curve.h"
+
+#include <algorithm>
+
+namespace shadoop::index {
+
+void QuantizePoint(const Point& p, const Envelope& space, uint32_t* ix,
+                   uint32_t* iy) {
+  constexpr uint32_t kMax = (1u << kCurveBits) - 1;
+  const double w = space.Width();
+  const double h = space.Height();
+  const double fx = w > 0 ? (p.x - space.min_x()) / w : 0.0;
+  const double fy = h > 0 ? (p.y - space.min_y()) / h : 0.0;
+  *ix = static_cast<uint32_t>(
+      std::clamp(fx * (kMax + 1.0), 0.0, static_cast<double>(kMax)));
+  *iy = static_cast<uint32_t>(
+      std::clamp(fy * (kMax + 1.0), 0.0, static_cast<double>(kMax)));
+}
+
+namespace {
+
+uint64_t InterleaveBits(uint32_t v) {
+  uint64_t x = v;
+  x = (x | (x << 16)) & 0x0000FFFF0000FFFFULL;
+  x = (x | (x << 8)) & 0x00FF00FF00FF00FFULL;
+  x = (x | (x << 4)) & 0x0F0F0F0F0F0F0F0FULL;
+  x = (x | (x << 2)) & 0x3333333333333333ULL;
+  x = (x | (x << 1)) & 0x5555555555555555ULL;
+  return x;
+}
+
+}  // namespace
+
+uint64_t ZOrderValue(const Point& p, const Envelope& space) {
+  uint32_t ix = 0;
+  uint32_t iy = 0;
+  QuantizePoint(p, space, &ix, &iy);
+  return InterleaveBits(ix) | (InterleaveBits(iy) << 1);
+}
+
+uint64_t HilbertValue(const Point& p, const Envelope& space) {
+  uint32_t x = 0;
+  uint32_t y = 0;
+  QuantizePoint(p, space, &x, &y);
+  // Classic xy -> d conversion (Hilbert, via quadrant rotation).
+  uint64_t d = 0;
+  for (uint32_t s = 1u << (kCurveBits - 1); s > 0; s >>= 1) {
+    const uint32_t rx = (x & s) > 0 ? 1 : 0;
+    const uint32_t ry = (y & s) > 0 ? 1 : 0;
+    d += static_cast<uint64_t>(s) * s * ((3 * rx) ^ ry);
+    // Rotate the quadrant.
+    if (ry == 0) {
+      if (rx == 1) {
+        x = s - 1 - x;
+        y = s - 1 - y;
+      }
+      std::swap(x, y);
+    }
+  }
+  return d;
+}
+
+}  // namespace shadoop::index

@@ -1,0 +1,30 @@
+#ifndef SHADOOP_INDEX_SPACE_FILLING_CURVE_H_
+#define SHADOOP_INDEX_SPACE_FILLING_CURVE_H_
+
+#include <cstdint>
+
+#include "geometry/envelope.h"
+#include "geometry/point.h"
+
+namespace shadoop::index {
+
+/// Resolution of the curve quantization grid: coordinates are quantized
+/// to 16 bits per dimension, giving 32-bit curve keys. 2^16 cells per axis
+/// is far finer than any partitioning this library produces.
+inline constexpr int kCurveBits = 16;
+
+/// Quantizes `p` within `space` to integer grid coordinates in
+/// [0, 2^kCurveBits).
+void QuantizePoint(const Point& p, const Envelope& space, uint32_t* ix,
+                   uint32_t* iy);
+
+/// Z-order (Morton) key: bit-interleaves the quantized coordinates.
+uint64_t ZOrderValue(const Point& p, const Envelope& space);
+
+/// Hilbert-curve key of order kCurveBits; preserves locality better than
+/// Z-order (no long diagonal jumps).
+uint64_t HilbertValue(const Point& p, const Envelope& space);
+
+}  // namespace shadoop::index
+
+#endif  // SHADOOP_INDEX_SPACE_FILLING_CURVE_H_

@@ -1,0 +1,46 @@
+#ifndef SHADOOP_INDEX_STR_PARTITIONER_H_
+#define SHADOOP_INDEX_STR_PARTITIONER_H_
+
+#include "index/partitioner.h"
+
+namespace shadoop::index {
+
+/// Sort-Tile-Recursive partitioning (the packing step of an STR-bulk-
+/// loaded R-tree): the sample is cut into vertical slabs at x-quantiles,
+/// and each slab into cells at y-quantiles, yielding near-equal-count
+/// cells that adapt to skew.
+///
+/// Two flavours share the boundary computation:
+///  - STR  (`replicate = false`): every shape is stored once, in the cell
+///    of its center; cells effectively overlap once shapes have extent.
+///  - STR+ (`replicate = true`): the tiling is treated as disjoint cells
+///    and shapes are replicated to every cell they overlap.
+class StrPartitioner : public Partitioner {
+ public:
+  explicit StrPartitioner(bool replicate) : replicate_(replicate) {}
+
+  PartitionScheme scheme() const override {
+    return replicate_ ? PartitionScheme::kStrPlus : PartitionScheme::kStr;
+  }
+
+  Status Construct(const Envelope& space, const std::vector<Point>& sample,
+                   int target_partitions) override;
+
+  int NumCells() const override { return num_cells_; }
+  Envelope CellExtent(int id) const override;
+  int AssignPoint(const Point& p) const override;
+
+ private:
+  int SlabOf(double x) const;
+
+  bool replicate_;
+  Envelope space_;
+  int num_cells_ = 0;
+  std::vector<double> x_bounds_;               // Size: slabs + 1.
+  std::vector<std::vector<double>> y_bounds_;  // Per slab, rows + 1.
+  std::vector<int> first_cell_of_slab_;        // Prefix sums of rows.
+};
+
+}  // namespace shadoop::index
+
+#endif  // SHADOOP_INDEX_STR_PARTITIONER_H_

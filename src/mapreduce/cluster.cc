@@ -1,0 +1,27 @@
+#include "mapreduce/cluster.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace shadoop::mapreduce {
+
+double Makespan(const std::vector<double>& task_costs_ms, int num_slots) {
+  if (task_costs_ms.empty()) return 0.0;
+  num_slots = std::max(1, num_slots);
+  // Min-heap of slot loads.
+  std::priority_queue<double, std::vector<double>, std::greater<double>> slots;
+  for (int i = 0; i < num_slots; ++i) slots.push(0.0);
+  for (double cost : task_costs_ms) {
+    double load = slots.top();
+    slots.pop();
+    slots.push(load + cost);
+  }
+  double makespan = 0.0;
+  while (!slots.empty()) {
+    makespan = slots.top();
+    slots.pop();
+  }
+  return makespan;
+}
+
+}  // namespace shadoop::mapreduce

@@ -1,0 +1,186 @@
+#ifndef SHADOOP_MAPREDUCE_JOB_H_
+#define SHADOOP_MAPREDUCE_JOB_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace shadoop::mapreduce {
+
+/// One intermediate key-value pair. Keys and values are text, in the
+/// spirit of Hadoop streaming: every operation defines its own record
+/// encodings on top (typically CSV or WKT, see geometry/wkt.h).
+struct KeyValue {
+  std::string key;
+  std::string value;
+
+  friend bool operator<(const KeyValue& a, const KeyValue& b) {
+    return a.key < b.key || (a.key == b.key && a.value < b.value);
+  }
+  friend bool operator==(const KeyValue& a, const KeyValue& b) {
+    return a.key == b.key && a.value == b.value;
+  }
+};
+
+/// Reference to one stored block of an input file.
+struct BlockRef {
+  std::string path;
+  size_t block_index = 0;
+};
+
+/// Unit of work for one map task. A split normally covers one block; some
+/// spatial operations (e.g. farthest pair) build splits that cover a
+/// *pair* of partitions, hence the vector. `meta` carries operation
+/// defined context — for spatially partitioned files it is the partition
+/// MBR in CSV form, so the map function knows its cell boundaries.
+struct InputSplit {
+  std::vector<BlockRef> blocks;
+  std::string meta;
+  size_t estimated_bytes = 0;
+  size_t estimated_records = 0;
+};
+
+/// Thread-compatible counter set; each task accumulates locally and the
+/// runner merges after the phase, so no locking is needed in user code.
+class Counters {
+ public:
+  void Increment(const std::string& name, int64_t delta = 1) {
+    values_[name] += delta;
+  }
+  int64_t Get(const std::string& name) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? 0 : it->second;
+  }
+  void MergeFrom(const Counters& other) {
+    for (const auto& [name, value] : other.values_) values_[name] += value;
+  }
+  const std::map<std::string, int64_t>& values() const { return values_; }
+
+ private:
+  std::map<std::string, int64_t> values_;
+};
+
+/// Context handed to map tasks. Emit() feeds the shuffle; WriteOutput()
+/// bypasses the shuffle and appends to the job's final output — this is
+/// how SpatialHadoop's pruning steps "early flush" final results from the
+/// map side. ChargeCpu() lets algorithms report super-linear work to the
+/// simulated-time model.
+class MapContext {
+ public:
+  virtual ~MapContext() = default;
+
+  virtual void Emit(std::string key, std::string value) = 0;
+  virtual void WriteOutput(std::string line) = 0;
+  virtual void ChargeCpu(uint64_t ops) = 0;
+  virtual Counters& counters() = 0;
+  /// The split being processed (access to `meta`).
+  virtual const InputSplit& split() const = 0;
+  /// Marks the task (and hence the job) failed; record processing stops
+  /// after the current record. For data errors the job must not ignore.
+  virtual void Fail(Status status) = 0;
+};
+
+/// Context handed to reduce tasks.
+class ReduceContext {
+ public:
+  virtual ~ReduceContext() = default;
+
+  virtual void Write(std::string line) = 0;
+  virtual void ChargeCpu(uint64_t ops) = 0;
+  virtual Counters& counters() = 0;
+  /// Marks the task (and hence the job) failed.
+  virtual void Fail(Status status) = 0;
+};
+
+/// User map function. One instance is created per map task (so instances
+/// may keep per-split state without locking). BeginSplit/EndSplit bracket
+/// the records of the split; whole-partition algorithms buffer in Map()
+/// and compute in EndSplit().
+class Mapper {
+ public:
+  virtual ~Mapper() = default;
+
+  virtual void BeginSplit(MapContext& ctx) { (void)ctx; }
+  /// Called before the records of the split's `ordinal`-th block; lets
+  /// multi-block splits (partition pairs) tell their inputs apart.
+  virtual void BeginBlock(size_t ordinal, MapContext& ctx) {
+    (void)ordinal;
+    (void)ctx;
+  }
+  virtual void Map(const std::string& record, MapContext& ctx) = 0;
+  virtual void EndSplit(MapContext& ctx) { (void)ctx; }
+};
+
+/// User reduce function. Also used for combiners (map-side pre-reduce);
+/// a combiner's Write() re-emits under the group key instead of writing
+/// final output.
+class Reducer {
+ public:
+  virtual ~Reducer() = default;
+
+  virtual void Reduce(const std::string& key,
+                      const std::vector<std::string>& values,
+                      ReduceContext& ctx) = 0;
+
+  /// Called once after the last group of the task; reducers that combine
+  /// state across keys write their final answer here.
+  virtual void Finish(ReduceContext& ctx) { (void)ctx; }
+};
+
+using MapperFactory = std::function<std::unique_ptr<Mapper>()>;
+using ReducerFactory = std::function<std::unique_ptr<Reducer>()>;
+
+/// Routes an intermediate key to a reduce task in [0, num_reducers).
+using Partitioner = std::function<int(const std::string& key, int num_reducers)>;
+
+/// Fault-injection hook for tests: return true to make the given task
+/// attempt fail artificially.
+using FaultInjector = std::function<bool(int task_index, int attempt)>;
+
+/// Full specification of one MapReduce job.
+struct JobConfig {
+  std::string name = "job";
+  std::vector<InputSplit> splits;
+  MapperFactory mapper;
+  ReducerFactory combiner;  // Optional.
+  ReducerFactory reducer;   // Optional: absent means a map-only job.
+  Partitioner partitioner;  // Optional: defaults to hash(key) % R.
+  int num_reducers = 1;
+  /// When non-empty, the output lines are also written as an HDFS file.
+  std::string output_path;
+  int max_task_attempts = 3;
+  FaultInjector fault_injector;  // Optional, tests only.
+};
+
+/// Deterministic simulated-cost breakdown of a finished job (see
+/// DESIGN.md §5). All times in milliseconds of simulated cluster time.
+struct JobCost {
+  double total_ms = 0;
+  double map_makespan_ms = 0;
+  double shuffle_ms = 0;
+  double reduce_makespan_ms = 0;
+  uint64_t bytes_read = 0;
+  uint64_t bytes_shuffled = 0;
+  uint64_t bytes_written = 0;
+  int num_map_tasks = 0;
+  int num_reduce_tasks = 0;
+};
+
+struct JobResult {
+  Status status;
+  Counters counters;
+  JobCost cost;
+  double wall_ms = 0;
+  /// Final output lines in deterministic order (map-task order for
+  /// map-side writes, then reduce-task order).
+  std::vector<std::string> output;
+};
+
+}  // namespace shadoop::mapreduce
+
+#endif  // SHADOOP_MAPREDUCE_JOB_H_

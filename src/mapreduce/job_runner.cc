@@ -1,0 +1,408 @@
+#include "mapreduce/job_runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+
+namespace shadoop::mapreduce {
+namespace {
+
+/// Per-task accounting shared by both context implementations.
+struct TaskAccounting {
+  Counters counters;
+  uint64_t charged_cpu_ops = 0;
+  uint64_t records_processed = 0;
+  Status status;  // First failure reported by user code.
+};
+
+class MapContextImpl : public MapContext {
+ public:
+  MapContextImpl(const InputSplit& split, int num_reducers)
+      : split_(split), emitted_(std::max(1, num_reducers)) {}
+
+  void Emit(std::string key, std::string value) override {
+    const int bucket =
+        partition_ ? partition_(key, static_cast<int>(emitted_.size()))
+                   : HashPartition(key, static_cast<int>(emitted_.size()));
+    emitted_bytes_ += key.size() + value.size();
+    emitted_[bucket].push_back({std::move(key), std::move(value)});
+  }
+
+  void WriteOutput(std::string line) override {
+    output_bytes_ += line.size() + 1;
+    output_.push_back(std::move(line));
+  }
+
+  void ChargeCpu(uint64_t ops) override { acct_.charged_cpu_ops += ops; }
+
+  Counters& counters() override { return acct_.counters; }
+  const InputSplit& split() const override { return split_; }
+  void Fail(Status status) override {
+    if (acct_.status.ok()) acct_.status = std::move(status);
+  }
+
+  void set_partitioner(const Partitioner& p) { partition_ = p; }
+
+  const InputSplit& split_;
+  Partitioner partition_;
+  std::vector<std::vector<KeyValue>> emitted_;  // One bucket per reducer.
+  std::vector<std::string> output_;             // Map-side final output.
+  uint64_t emitted_bytes_ = 0;
+  uint64_t output_bytes_ = 0;
+  TaskAccounting acct_;
+};
+
+class ReduceContextImpl : public ReduceContext {
+ public:
+  void Write(std::string line) override {
+    output_bytes_ += line.size() + 1;
+    output_.push_back(std::move(line));
+  }
+  void ChargeCpu(uint64_t ops) override { acct_.charged_cpu_ops += ops; }
+  Counters& counters() override { return acct_.counters; }
+  void Fail(Status status) override {
+    if (acct_.status.ok()) acct_.status = std::move(status);
+  }
+
+  std::vector<std::string> output_;
+  uint64_t output_bytes_ = 0;
+  TaskAccounting acct_;
+};
+
+/// Combiner context: Write() re-emits the line under the current group
+/// key instead of producing final output.
+class CombineContextImpl : public ReduceContext {
+ public:
+  explicit CombineContextImpl(TaskAccounting* acct) : acct_(acct) {}
+
+  void Write(std::string line) override {
+    combined_.push_back({current_key_, std::move(line)});
+  }
+  void ChargeCpu(uint64_t ops) override { acct_->charged_cpu_ops += ops; }
+  Counters& counters() override { return acct_->counters; }
+  void Fail(Status status) override {
+    if (acct_->status.ok()) acct_->status = std::move(status);
+  }
+
+  std::string current_key_;
+  std::vector<KeyValue> combined_;
+  TaskAccounting* acct_;
+};
+
+/// Runs `fn(i)` for i in [0, n) on up to `max_threads` threads.
+void ParallelFor(size_t n, int max_threads,
+                 const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  const int num_threads = static_cast<int>(std::min<size_t>(
+      n, std::max(1, std::min<int>(max_threads,
+                                   std::thread::hardware_concurrency()))));
+  if (num_threads <= 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<size_t> next{0};
+  std::vector<std::thread> threads;
+  threads.reserve(num_threads);
+  for (int t = 0; t < num_threads; ++t) {
+    threads.emplace_back([&]() {
+      for (;;) {
+        const size_t i = next.fetch_add(1);
+        if (i >= n) return;
+        fn(i);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+}
+
+/// Groups a key-sorted run of pairs and invokes the reducer per group.
+void ReduceSortedRun(const std::vector<KeyValue>& pairs, Reducer& reducer,
+                     ReduceContext& ctx) {
+  size_t i = 0;
+  while (i < pairs.size()) {
+    size_t j = i;
+    std::vector<std::string> values;
+    while (j < pairs.size() && pairs[j].key == pairs[i].key) {
+      values.push_back(pairs[j].value);
+      ++j;
+    }
+    reducer.Reduce(pairs[i].key, values, ctx);
+    i = j;
+  }
+  reducer.Finish(ctx);
+}
+
+double CpuMs(const ClusterConfig& cfg, const TaskAccounting& acct) {
+  const double ops = static_cast<double>(acct.charged_cpu_ops) +
+                     static_cast<double>(acct.records_processed) *
+                         cfg.ops_per_record;
+  return ops / cfg.cpu_ops_per_ms;
+}
+
+}  // namespace
+
+int HashPartition(const std::string& key, int num_reducers) {
+  uint64_t hash = 14695981039346656037ULL;
+  for (char c : key) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;
+  }
+  return static_cast<int>(hash % static_cast<uint64_t>(
+                                     std::max(1, num_reducers)));
+}
+
+Result<std::vector<InputSplit>> MakeBlockSplits(const hdfs::FileSystem& fs,
+                                                const std::string& path) {
+  SHADOOP_ASSIGN_OR_RETURN(hdfs::FileMeta meta, fs.GetFileMeta(path));
+  std::vector<InputSplit> splits;
+  splits.reserve(meta.blocks.size());
+  for (size_t i = 0; i < meta.blocks.size(); ++i) {
+    InputSplit split;
+    split.blocks.push_back({path, i});
+    split.estimated_bytes = meta.blocks[i].num_bytes;
+    split.estimated_records = meta.blocks[i].num_records;
+    splits.push_back(std::move(split));
+  }
+  return splits;
+}
+
+JobResult JobRunner::Run(const JobConfig& job) {
+  Stopwatch wall;
+  JobResult result;
+  result.cost.num_map_tasks = static_cast<int>(job.splits.size());
+  const bool has_reduce = static_cast<bool>(job.reducer);
+  const int num_reducers = has_reduce ? std::max(1, job.num_reducers) : 1;
+  result.cost.num_reduce_tasks = has_reduce ? num_reducers : 0;
+
+  if (!job.mapper) {
+    result.status = Status::InvalidArgument("job '" + job.name +
+                                            "' has no mapper");
+    return result;
+  }
+
+  // ------------------------------------------------------------------
+  // Map phase.
+  const size_t num_maps = job.splits.size();
+  std::vector<std::unique_ptr<MapContextImpl>> map_ctxs(num_maps);
+  std::vector<Status> map_status(num_maps);
+  std::vector<uint64_t> map_bytes_read(num_maps, 0);
+
+  ParallelFor(num_maps, cluster_.num_slots, [&](size_t i) {
+    const InputSplit& split = job.splits[i];
+    Status last_error;
+    for (int attempt = 1; attempt <= job.max_task_attempts; ++attempt) {
+      auto ctx = std::make_unique<MapContextImpl>(split, num_reducers);
+      ctx->set_partitioner(job.partitioner);
+      if (job.fault_injector &&
+          job.fault_injector(static_cast<int>(i), attempt)) {
+        last_error = Status::IoError("injected fault in map task " +
+                                     std::to_string(i));
+        continue;
+      }
+      std::unique_ptr<Mapper> mapper = job.mapper();
+      mapper->BeginSplit(*ctx);
+      uint64_t bytes = 0;
+      Status read_status;
+      for (size_t ordinal = 0; ordinal < split.blocks.size(); ++ordinal) {
+        const BlockRef& block = split.blocks[ordinal];
+        auto records = fs_->ReadBlock(block.path, block.block_index);
+        if (!records.ok()) {
+          read_status = records.status();
+          break;
+        }
+        mapper->BeginBlock(ordinal, *ctx);
+        for (const std::string& record : records.value()) {
+          bytes += record.size() + 1;
+          ++ctx->acct_.records_processed;
+          mapper->Map(record, *ctx);
+          if (!ctx->acct_.status.ok()) break;
+        }
+        if (!ctx->acct_.status.ok()) break;
+      }
+      if (!read_status.ok()) {
+        last_error = read_status;
+        continue;  // Retry; a replica may still be alive.
+      }
+      if (!ctx->acct_.status.ok()) {
+        last_error = ctx->acct_.status;
+        break;  // User-code failure: retrying would repeat it.
+      }
+      mapper->EndSplit(*ctx);
+      if (!ctx->acct_.status.ok()) {
+        last_error = ctx->acct_.status;
+        break;
+      }
+      map_bytes_read[i] = bytes;
+      map_ctxs[i] = std::move(ctx);
+      return;
+    }
+    map_status[i] = last_error.ok()
+                        ? Status::Internal("map task failed without error")
+                        : last_error;
+  });
+
+  for (size_t i = 0; i < num_maps; ++i) {
+    if (!map_status[i].ok()) {
+      result.status = map_status[i];
+      result.wall_ms = wall.ElapsedMillis();
+      return result;
+    }
+  }
+
+  // Optional combiner: per map task, sort + group + combine in place.
+  if (job.combiner) {
+    ParallelFor(num_maps, cluster_.num_slots, [&](size_t i) {
+      MapContextImpl& ctx = *map_ctxs[i];
+      std::unique_ptr<Reducer> combiner = job.combiner();
+      uint64_t new_bytes = 0;
+      for (auto& bucket : ctx.emitted_) {
+        std::sort(bucket.begin(), bucket.end());
+        CombineContextImpl cc(&ctx.acct_);
+        size_t p = 0;
+        while (p < bucket.size()) {
+          size_t q = p;
+          std::vector<std::string> values;
+          while (q < bucket.size() && bucket[q].key == bucket[p].key) {
+            values.push_back(bucket[q].value);
+            ++q;
+          }
+          cc.current_key_ = bucket[p].key;
+          ctx.acct_.records_processed += values.size();
+          combiner->Reduce(bucket[p].key, values, cc);
+          p = q;
+        }
+        bucket = std::move(cc.combined_);
+        for (const KeyValue& kv : bucket) {
+          new_bytes += kv.key.size() + kv.value.size();
+        }
+      }
+      ctx.emitted_bytes_ = new_bytes;
+    });
+  }
+
+  // ------------------------------------------------------------------
+  // Shuffle: route each map task's buckets to reduce task inputs.
+  std::vector<std::vector<KeyValue>> reduce_inputs(num_reducers);
+  uint64_t shuffle_bytes = 0;
+  for (size_t i = 0; i < num_maps; ++i) {
+    MapContextImpl& ctx = *map_ctxs[i];
+    shuffle_bytes += ctx.emitted_bytes_;
+    for (int r = 0; r < num_reducers; ++r) {
+      auto& bucket = ctx.emitted_[r];
+      reduce_inputs[r].insert(reduce_inputs[r].end(),
+                              std::make_move_iterator(bucket.begin()),
+                              std::make_move_iterator(bucket.end()));
+      bucket.clear();
+    }
+  }
+
+  // ------------------------------------------------------------------
+  // Reduce phase.
+  std::vector<ReduceContextImpl> reduce_ctxs(num_reducers);
+  if (has_reduce) {
+    ParallelFor(static_cast<size_t>(num_reducers), cluster_.num_slots,
+                [&](size_t r) {
+                  std::sort(reduce_inputs[r].begin(), reduce_inputs[r].end());
+                  std::unique_ptr<Reducer> reducer = job.reducer();
+                  reduce_ctxs[r].acct_.records_processed +=
+                      reduce_inputs[r].size();
+                  ReduceSortedRun(reduce_inputs[r], *reducer, reduce_ctxs[r]);
+                });
+    for (int r = 0; r < num_reducers; ++r) {
+      if (!reduce_ctxs[r].acct_.status.ok()) {
+        result.status = reduce_ctxs[r].acct_.status;
+        result.wall_ms = wall.ElapsedMillis();
+        return result;
+      }
+    }
+  } else {
+    // Map-only job: emitted pairs (if any) pass through as "key<TAB>value".
+    for (int r = 0; r < num_reducers; ++r) {
+      std::sort(reduce_inputs[r].begin(), reduce_inputs[r].end());
+      for (KeyValue& kv : reduce_inputs[r]) {
+        reduce_ctxs[r].Write(kv.key.empty() ? std::move(kv.value)
+                                            : kv.key + "\t" + kv.value);
+      }
+    }
+  }
+
+  // ------------------------------------------------------------------
+  // Assemble output and counters deterministically (task order).
+  for (size_t i = 0; i < num_maps; ++i) {
+    MapContextImpl& ctx = *map_ctxs[i];
+    result.counters.MergeFrom(ctx.acct_.counters);
+    for (std::string& line : ctx.output_) {
+      result.output.push_back(std::move(line));
+    }
+  }
+  for (ReduceContextImpl& ctx : reduce_ctxs) {
+    result.counters.MergeFrom(ctx.acct_.counters);
+    for (std::string& line : ctx.output_) {
+      result.output.push_back(std::move(line));
+    }
+  }
+
+  if (!job.output_path.empty()) {
+    Status write_status = fs_->WriteLines(job.output_path, result.output);
+    if (!write_status.ok()) {
+      result.status = write_status;
+      result.wall_ms = wall.ElapsedMillis();
+      return result;
+    }
+  }
+
+  // ------------------------------------------------------------------
+  // Deterministic simulated cost.
+  std::vector<double> map_costs;
+  map_costs.reserve(num_maps);
+  uint64_t total_read = 0;
+  uint64_t map_output_bytes = 0;
+  for (size_t i = 0; i < num_maps; ++i) {
+    MapContextImpl& ctx = *map_ctxs[i];
+    total_read += map_bytes_read[i];
+    map_output_bytes += ctx.output_bytes_;
+    const double io_ms =
+        static_cast<double>(map_bytes_read[i]) / cluster_.disk_bytes_per_ms +
+        static_cast<double>(ctx.emitted_bytes_ + ctx.output_bytes_) /
+            cluster_.disk_bytes_per_ms;
+    map_costs.push_back(cluster_.task_startup_ms + io_ms +
+                        CpuMs(cluster_, ctx.acct_));
+  }
+
+  std::vector<double> reduce_costs;
+  uint64_t reduce_output_bytes = 0;
+  if (has_reduce) {
+    reduce_costs.reserve(num_reducers);
+    for (int r = 0; r < num_reducers; ++r) {
+      uint64_t in_bytes = 0;
+      for (const KeyValue& kv : reduce_inputs[r]) {
+        in_bytes += kv.key.size() + kv.value.size();
+      }
+      reduce_output_bytes += reduce_ctxs[r].output_bytes_;
+      const double io_ms =
+          static_cast<double>(in_bytes + reduce_ctxs[r].output_bytes_) /
+          cluster_.disk_bytes_per_ms;
+      reduce_costs.push_back(cluster_.task_startup_ms + io_ms +
+                             CpuMs(cluster_, reduce_ctxs[r].acct_));
+    }
+  }
+
+  result.cost.bytes_read = total_read;
+  result.cost.bytes_shuffled = shuffle_bytes;
+  result.cost.bytes_written = map_output_bytes + reduce_output_bytes;
+  result.cost.map_makespan_ms = Makespan(map_costs, cluster_.num_slots);
+  result.cost.shuffle_ms =
+      static_cast<double>(shuffle_bytes) / cluster_.net_bytes_per_ms;
+  result.cost.reduce_makespan_ms = Makespan(reduce_costs, cluster_.num_slots);
+  result.cost.total_ms = cluster_.job_startup_ms + result.cost.map_makespan_ms +
+                         result.cost.shuffle_ms +
+                         result.cost.reduce_makespan_ms;
+  result.wall_ms = wall.ElapsedMillis();
+  result.status = Status::OK();
+  return result;
+}
+
+}  // namespace shadoop::mapreduce

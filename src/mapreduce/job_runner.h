@@ -1,0 +1,48 @@
+#ifndef SHADOOP_MAPREDUCE_JOB_RUNNER_H_
+#define SHADOOP_MAPREDUCE_JOB_RUNNER_H_
+
+#include "hdfs/file_system.h"
+#include "mapreduce/cluster.h"
+#include "mapreduce/job.h"
+
+namespace shadoop::mapreduce {
+
+/// Executes MapReduce jobs against a simulated HDFS instance.
+///
+/// Execution is *real* (map and reduce functions run on a thread pool and
+/// produce real output) while time is *modeled*: JobResult::cost carries
+/// the deterministic simulated cluster time derived from bytes moved,
+/// records processed, task counts and the ClusterConfig — this is the
+/// metric the benchmark suite reports, because it is machine-independent
+/// and reproduces the paper's cost structure (job startup, scan, shuffle).
+///
+/// Failed map attempts (I/O errors on dead datanodes, injected faults) are
+/// retried up to JobConfig::max_task_attempts before failing the job.
+class JobRunner {
+ public:
+  JobRunner(hdfs::FileSystem* fs, ClusterConfig cluster = ClusterConfig())
+      : fs_(fs), cluster_(cluster) {}
+
+  const ClusterConfig& cluster() const { return cluster_; }
+  hdfs::FileSystem* file_system() const { return fs_; }
+
+  /// Runs the job to completion. Never throws; failures are reported in
+  /// JobResult::status.
+  JobResult Run(const JobConfig& job);
+
+ private:
+  hdfs::FileSystem* fs_;
+  ClusterConfig cluster_;
+};
+
+/// Builds one split per block of `path`, with empty metadata — the
+/// default, non-spatial splitter of plain Hadoop.
+Result<std::vector<InputSplit>> MakeBlockSplits(const hdfs::FileSystem& fs,
+                                                const std::string& path);
+
+/// The default partitioner: FNV-1a hash of the key modulo num_reducers.
+int HashPartition(const std::string& key, int num_reducers);
+
+}  // namespace shadoop::mapreduce
+
+#endif  // SHADOOP_MAPREDUCE_JOB_RUNNER_H_

@@ -1,0 +1,86 @@
+#ifndef SHADOOP_PIGEON_AST_H_
+#define SHADOOP_PIGEON_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "geometry/envelope.h"
+#include "geometry/point.h"
+#include "index/partition.h"
+#include "index/record_shape.h"
+
+namespace shadoop::pigeon {
+
+/// Dataset-producing expressions of the Pigeon language.
+///
+///   LOAD '<path>' AS (POINT | RECTANGLE | POLYGON)
+///   LOADINDEX '<path>'
+///   INDEX <name> WITH (GRID | STR | STR+ | QUADTREE | KDTREE | ZCURVE |
+///                      HILBERT) [INTO '<path>']
+///   RANGE <name> RECTANGLE(x1, y1, x2, y2)
+///   COUNT <name> RECTANGLE(x1, y1, x2, y2)
+///   KNN <name> POINT(x, y) K <k>
+///   SJOIN <name>, <name>
+///   KNNJOIN <name>, <name> K <k>
+///   SKYLINE <name>
+///   CONVEXHULL <name>
+///   CLOSESTPAIR <name>
+///   FARTHESTPAIR <name>
+///   UNION <name>
+struct Expr {
+  enum class Kind {
+    kLoad,
+    kLoadIndex,
+    kIndex,
+    kRange,
+    kCount,
+    kKnn,
+    kJoin,
+    kKnnJoin,
+    kSkyline,
+    kConvexHull,
+    kClosestPair,
+    kFarthestPair,
+    kUnion,
+  };
+
+  Kind kind = Kind::kLoad;
+  int line = 1;
+
+  // kLoad / kIndex.
+  std::string path;
+  index::ShapeType shape = index::ShapeType::kPoint;
+  index::PartitionScheme scheme = index::PartitionScheme::kStr;
+
+  // Operation inputs: referenced dataset names.
+  std::string source;
+  std::string source_b;  // kJoin only.
+
+  // Operation parameters.
+  Envelope range;   // kRange / kCount.
+  Point query;      // kKnn.
+  size_t k = 1;     // kKnn / kKnnJoin.
+};
+
+/// Top-level statements.
+///
+///   <name> = <expr> ;
+///   STORE <name> INTO '<path>' ;
+///   DUMP <name> ;
+///   EXPLAIN <name> ;   -- describes the binding (kind, index, size)
+struct Statement {
+  enum class Kind { kAssign, kStore, kDump, kExplain };
+
+  Kind kind = Kind::kAssign;
+  int line = 1;
+  std::string target;  // Assigned name, or the dataset to store/dump.
+  std::string path;    // kStore destination.
+  Expr expr;           // kAssign only.
+};
+
+using Script = std::vector<Statement>;
+
+}  // namespace shadoop::pigeon
+
+#endif  // SHADOOP_PIGEON_AST_H_

@@ -1,0 +1,372 @@
+#include "pigeon/executor.h"
+
+#include "core/aggregate_op.h"
+#include "core/closest_pair_op.h"
+#include "core/convex_hull_op.h"
+#include "core/farthest_pair_op.h"
+#include "core/knn.h"
+#include "core/knn_join.h"
+#include "core/range_query.h"
+#include "core/skyline_op.h"
+#include "core/spatial_join.h"
+#include "core/union_op.h"
+#include "geometry/wkt.h"
+#include "pigeon/parser.h"
+
+namespace shadoop::pigeon {
+namespace {
+
+Status ErrorAt(int line, const std::string& message) {
+  return Status::InvalidArgument("line " + std::to_string(line) + ": " +
+                                 message);
+}
+
+std::vector<std::string> PointsToLines(const std::vector<Point>& points) {
+  std::vector<std::string> lines;
+  lines.reserve(points.size());
+  for (const Point& p : points) lines.push_back(PointToCsv(p));
+  return lines;
+}
+
+}  // namespace
+
+Result<ExecutionReport> Executor::Execute(std::string_view script) {
+  SHADOOP_ASSIGN_OR_RETURN(Script statements, Parse(script));
+  ExecutionReport report;
+  for (const Statement& stmt : statements) {
+    switch (stmt.kind) {
+      case Statement::Kind::kAssign: {
+        SHADOOP_ASSIGN_OR_RETURN(Dataset dataset, Eval(stmt.expr, &report));
+        env_[stmt.target] = std::move(dataset);
+        break;
+      }
+      case Statement::Kind::kStore: {
+        SHADOOP_ASSIGN_OR_RETURN(Dataset dataset,
+                                 LookUp(stmt.target, stmt.line));
+        if (dataset.kind == Dataset::Kind::kLines) {
+          SHADOOP_RETURN_NOT_OK(
+              runner_->file_system()->WriteLines(stmt.path, dataset.lines));
+        } else {
+          SHADOOP_ASSIGN_OR_RETURN(std::vector<std::string> lines,
+                                   runner_->file_system()->ReadLines(
+                                       dataset.path));
+          SHADOOP_RETURN_NOT_OK(
+              runner_->file_system()->WriteLines(stmt.path, lines));
+        }
+        break;
+      }
+      case Statement::Kind::kExplain: {
+        SHADOOP_ASSIGN_OR_RETURN(Dataset dataset,
+                                 LookUp(stmt.target, stmt.line));
+        std::string line = "dataset '" + stmt.target + "': ";
+        switch (dataset.kind) {
+          case Dataset::Kind::kFile:
+            line += "raw file '" + dataset.path + "' (shape=" +
+                    index::ShapeTypeName(dataset.shape) +
+                    "); queries use full-scan Hadoop operators";
+            break;
+          case Dataset::Kind::kIndexed: {
+            const index::GlobalIndex& gi = dataset.info->global_index;
+            size_t records = 0;
+            for (const auto& p : gi.partitions()) records += p.num_records;
+            line += "indexed file '" + dataset.path + "' (scheme=" +
+                    index::PartitionSchemeName(gi.scheme()) + ", shape=" +
+                    index::ShapeTypeName(dataset.shape) + ", partitions=" +
+                    std::to_string(gi.NumPartitions()) + ", records=" +
+                    std::to_string(records) + ", local_indexes=" +
+                    (dataset.info->has_local_indexes ? "yes" : "no") +
+                    "); queries use pruned SpatialHadoop operators";
+            break;
+          }
+          case Dataset::Kind::kLines:
+            line += "materialized result (" +
+                    std::to_string(dataset.lines.size()) + " records)";
+            break;
+        }
+        report.dump_output.push_back(std::move(line));
+        break;
+      }
+      case Statement::Kind::kDump: {
+        SHADOOP_ASSIGN_OR_RETURN(Dataset dataset,
+                                 LookUp(stmt.target, stmt.line));
+        if (dataset.kind == Dataset::Kind::kLines) {
+          for (const std::string& line : dataset.lines) {
+            report.dump_output.push_back(line);
+          }
+        } else {
+          SHADOOP_ASSIGN_OR_RETURN(std::vector<std::string> lines,
+                                   runner_->file_system()->ReadLines(
+                                       dataset.path));
+          for (std::string& line : lines) {
+            report.dump_output.push_back(std::move(line));
+          }
+        }
+        break;
+      }
+    }
+  }
+  return report;
+}
+
+Result<Dataset> Executor::LookUp(const std::string& name, int line) const {
+  auto it = env_.find(name);
+  if (it == env_.end()) {
+    return ErrorAt(line, "unknown dataset '" + name + "'");
+  }
+  return it->second;
+}
+
+Result<std::string> Executor::EnsureFile(const Dataset& dataset) {
+  if (dataset.kind != Dataset::Kind::kLines) return dataset.path;
+  const std::string path =
+      "/.pigeon_tmp_" + std::to_string(temp_counter_++);
+  SHADOOP_RETURN_NOT_OK(
+      runner_->file_system()->WriteLines(path, dataset.lines));
+  return path;
+}
+
+Result<Dataset> Executor::Eval(const Expr& expr, ExecutionReport* report) {
+  core::OpStats* stats = &report->stats;
+  switch (expr.kind) {
+    case Expr::Kind::kLoad: {
+      if (!runner_->file_system()->Exists(expr.path)) {
+        return ErrorAt(expr.line, "no such file '" + expr.path + "'");
+      }
+      Dataset dataset;
+      dataset.kind = Dataset::Kind::kFile;
+      dataset.shape = expr.shape;
+      dataset.path = expr.path;
+      return dataset;
+    }
+    case Expr::Kind::kLoadIndex: {
+      auto info = index::LoadSpatialFile(*runner_->file_system(), expr.path);
+      if (!info.ok()) {
+        return ErrorAt(expr.line, "cannot open index '" + expr.path +
+                                      "': " + info.status().ToString());
+      }
+      Dataset dataset;
+      dataset.kind = Dataset::Kind::kIndexed;
+      dataset.shape = info->shape;
+      dataset.path = expr.path;
+      dataset.info = std::move(info).value();
+      return dataset;
+    }
+    case Expr::Kind::kCount: {
+      SHADOOP_ASSIGN_OR_RETURN(Dataset source, LookUp(expr.source, expr.line));
+      int64_t count = 0;
+      if (source.kind == Dataset::Kind::kIndexed) {
+        SHADOOP_ASSIGN_OR_RETURN(
+            count,
+            core::RangeCountSpatial(runner_, *source.info, expr.range, stats));
+      } else {
+        SHADOOP_ASSIGN_OR_RETURN(std::string path, EnsureFile(source));
+        SHADOOP_ASSIGN_OR_RETURN(
+            count, core::RangeCountHadoop(runner_, path, source.shape,
+                                          expr.range, stats));
+      }
+      Dataset result;
+      result.kind = Dataset::Kind::kLines;
+      result.lines = {std::to_string(count)};
+      return result;
+    }
+    case Expr::Kind::kIndex: {
+      SHADOOP_ASSIGN_OR_RETURN(Dataset source, LookUp(expr.source, expr.line));
+      SHADOOP_ASSIGN_OR_RETURN(std::string source_path, EnsureFile(source));
+      std::string dest = expr.path.empty()
+                             ? source_path + ".idx_" +
+                                   index::PartitionSchemeName(expr.scheme)
+                             : expr.path;
+      // "str+" is not a valid path suffix everywhere; normalize.
+      for (char& c : dest) {
+        if (c == '+') c = 'p';
+      }
+      index::IndexBuilder builder(runner_);
+      index::IndexBuildOptions options;
+      options.scheme = expr.scheme;
+      options.shape = source.shape;
+      SHADOOP_ASSIGN_OR_RETURN(index::SpatialFileInfo info,
+                               builder.Build(source_path, dest, options));
+      stats->cost.total_ms += info.build_cost.total_ms;
+      stats->cost.bytes_read += info.build_cost.bytes_read;
+      stats->cost.bytes_shuffled += info.build_cost.bytes_shuffled;
+      stats->cost.bytes_written += info.build_cost.bytes_written;
+      stats->jobs_run += 2;  // Analysis + partition jobs.
+      Dataset dataset;
+      dataset.kind = Dataset::Kind::kIndexed;
+      dataset.shape = source.shape;
+      dataset.path = dest;
+      dataset.info = std::move(info);
+      return dataset;
+    }
+    case Expr::Kind::kRange: {
+      SHADOOP_ASSIGN_OR_RETURN(Dataset source, LookUp(expr.source, expr.line));
+      Dataset result;
+      result.kind = Dataset::Kind::kLines;
+      result.shape = source.shape;
+      if (source.kind == Dataset::Kind::kIndexed) {
+        SHADOOP_ASSIGN_OR_RETURN(
+            result.lines,
+            core::RangeQuerySpatial(runner_, *source.info, expr.range, stats));
+      } else {
+        SHADOOP_ASSIGN_OR_RETURN(std::string path, EnsureFile(source));
+        SHADOOP_ASSIGN_OR_RETURN(
+            result.lines, core::RangeQueryHadoop(runner_, path, source.shape,
+                                                 expr.range, stats));
+      }
+      return result;
+    }
+    case Expr::Kind::kKnn: {
+      SHADOOP_ASSIGN_OR_RETURN(Dataset source, LookUp(expr.source, expr.line));
+      std::vector<core::KnnAnswer> answers;
+      if (source.kind == Dataset::Kind::kIndexed) {
+        SHADOOP_ASSIGN_OR_RETURN(
+            answers,
+            core::KnnSpatial(runner_, *source.info, expr.query, expr.k, stats));
+      } else {
+        SHADOOP_ASSIGN_OR_RETURN(std::string path, EnsureFile(source));
+        SHADOOP_ASSIGN_OR_RETURN(
+            answers, core::KnnHadoop(runner_, path, source.shape, expr.query,
+                                     expr.k, stats));
+      }
+      Dataset result;
+      result.kind = Dataset::Kind::kLines;
+      result.shape = source.shape;
+      for (const core::KnnAnswer& a : answers) result.lines.push_back(a.record);
+      return result;
+    }
+    case Expr::Kind::kJoin: {
+      SHADOOP_ASSIGN_OR_RETURN(Dataset left, LookUp(expr.source, expr.line));
+      SHADOOP_ASSIGN_OR_RETURN(Dataset right,
+                               LookUp(expr.source_b, expr.line));
+      Dataset result;
+      result.kind = Dataset::Kind::kLines;
+      result.shape = left.shape;
+      if (left.kind == Dataset::Kind::kIndexed &&
+          right.kind == Dataset::Kind::kIndexed) {
+        SHADOOP_ASSIGN_OR_RETURN(
+            result.lines,
+            core::DistributedJoin(runner_, *left.info, *right.info, stats));
+      } else {
+        SHADOOP_ASSIGN_OR_RETURN(std::string left_path, EnsureFile(left));
+        SHADOOP_ASSIGN_OR_RETURN(std::string right_path, EnsureFile(right));
+        SHADOOP_ASSIGN_OR_RETURN(
+            result.lines,
+            core::SjmrJoin(runner_, left_path, left.shape, right_path,
+                           right.shape, stats));
+      }
+      return result;
+    }
+    case Expr::Kind::kKnnJoin: {
+      SHADOOP_ASSIGN_OR_RETURN(Dataset left, LookUp(expr.source, expr.line));
+      SHADOOP_ASSIGN_OR_RETURN(Dataset right,
+                               LookUp(expr.source_b, expr.line));
+      if (left.kind != Dataset::Kind::kIndexed ||
+          right.kind != Dataset::Kind::kIndexed) {
+        return ErrorAt(expr.line,
+                       "KNNJOIN needs two indexed datasets (INDEX both "
+                       "inputs first)");
+      }
+      SHADOOP_ASSIGN_OR_RETURN(
+          std::vector<core::KnnJoinAnswer> answers,
+          core::KnnJoinSpatial(runner_, *left.info, *right.info, expr.k,
+                               stats));
+      Dataset result;
+      result.kind = Dataset::Kind::kLines;
+      result.shape = left.shape;
+      for (const core::KnnJoinAnswer& a : answers) {
+        result.lines.push_back(a.left + std::string(1, core::kJoinSeparator) +
+                               a.right);
+      }
+      return result;
+    }
+    case Expr::Kind::kSkyline: {
+      SHADOOP_ASSIGN_OR_RETURN(Dataset source, LookUp(expr.source, expr.line));
+      std::vector<Point> skyline;
+      if (source.kind == Dataset::Kind::kIndexed) {
+        SHADOOP_ASSIGN_OR_RETURN(
+            skyline, core::SkylineSpatial(runner_, *source.info, stats));
+      } else {
+        SHADOOP_ASSIGN_OR_RETURN(std::string path, EnsureFile(source));
+        SHADOOP_ASSIGN_OR_RETURN(skyline,
+                                 core::SkylineHadoop(runner_, path, stats));
+      }
+      Dataset result;
+      result.kind = Dataset::Kind::kLines;
+      result.lines = PointsToLines(skyline);
+      return result;
+    }
+    case Expr::Kind::kConvexHull: {
+      SHADOOP_ASSIGN_OR_RETURN(Dataset source, LookUp(expr.source, expr.line));
+      std::vector<Point> hull;
+      if (source.kind == Dataset::Kind::kIndexed) {
+        SHADOOP_ASSIGN_OR_RETURN(
+            hull, core::ConvexHullSpatial(runner_, *source.info, stats));
+      } else {
+        SHADOOP_ASSIGN_OR_RETURN(std::string path, EnsureFile(source));
+        SHADOOP_ASSIGN_OR_RETURN(hull,
+                                 core::ConvexHullHadoop(runner_, path, stats));
+      }
+      Dataset result;
+      result.kind = Dataset::Kind::kLines;
+      result.lines = PointsToLines(hull);
+      return result;
+    }
+    case Expr::Kind::kClosestPair: {
+      SHADOOP_ASSIGN_OR_RETURN(Dataset source, LookUp(expr.source, expr.line));
+      if (source.kind != Dataset::Kind::kIndexed) {
+        return ErrorAt(expr.line,
+                       "CLOSESTPAIR needs an indexed dataset (use INDEX "
+                       "... WITH GRID/STR+/QUADTREE/KDTREE first)");
+      }
+      SHADOOP_ASSIGN_OR_RETURN(
+          PointPair pair, core::ClosestPairSpatial(runner_, *source.info,
+                                                   stats));
+      Dataset result;
+      result.kind = Dataset::Kind::kLines;
+      result.lines = {PointToCsv(pair.first), PointToCsv(pair.second)};
+      return result;
+    }
+    case Expr::Kind::kFarthestPair: {
+      SHADOOP_ASSIGN_OR_RETURN(Dataset source, LookUp(expr.source, expr.line));
+      PointPair pair;
+      if (source.kind == Dataset::Kind::kIndexed) {
+        SHADOOP_ASSIGN_OR_RETURN(
+            pair, core::FarthestPairSpatial(runner_, *source.info, stats));
+      } else {
+        SHADOOP_ASSIGN_OR_RETURN(std::string path, EnsureFile(source));
+        SHADOOP_ASSIGN_OR_RETURN(
+            pair, core::FarthestPairHadoop(runner_, path, stats));
+      }
+      Dataset result;
+      result.kind = Dataset::Kind::kLines;
+      result.lines = {PointToCsv(pair.first), PointToCsv(pair.second)};
+      return result;
+    }
+    case Expr::Kind::kUnion: {
+      SHADOOP_ASSIGN_OR_RETURN(Dataset source, LookUp(expr.source, expr.line));
+      if (source.shape != index::ShapeType::kPolygon) {
+        return ErrorAt(expr.line, "UNION needs a polygon dataset");
+      }
+      std::vector<Segment> segments;
+      if (source.kind == Dataset::Kind::kIndexed &&
+          source.info->global_index.IsDisjoint()) {
+        SHADOOP_ASSIGN_OR_RETURN(
+            segments,
+            core::UnionSpatialEnhanced(runner_, *source.info, stats));
+      } else {
+        SHADOOP_ASSIGN_OR_RETURN(std::string path, EnsureFile(source));
+        SHADOOP_ASSIGN_OR_RETURN(segments,
+                                 core::UnionHadoop(runner_, path, stats));
+      }
+      Dataset result;
+      result.kind = Dataset::Kind::kLines;
+      for (const Segment& s : segments) {
+        result.lines.push_back(core::SegmentToCsv(s));
+      }
+      return result;
+    }
+  }
+  return Status::Internal("unhandled expression kind");
+}
+
+}  // namespace shadoop::pigeon

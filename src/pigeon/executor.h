@@ -1,0 +1,69 @@
+#ifndef SHADOOP_PIGEON_EXECUTOR_H_
+#define SHADOOP_PIGEON_EXECUTOR_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "core/op_stats.h"
+#include "index/index_builder.h"
+#include "mapreduce/job_runner.h"
+#include "pigeon/ast.h"
+
+namespace shadoop::pigeon {
+
+/// A bound dataset in the executor's environment: a raw HDFS file, a
+/// spatially indexed file, or materialized result lines.
+struct Dataset {
+  enum class Kind { kFile, kIndexed, kLines };
+
+  Kind kind = Kind::kFile;
+  index::ShapeType shape = index::ShapeType::kPoint;
+  std::string path;                            // kFile / kIndexed.
+  std::optional<index::SpatialFileInfo> info;  // kIndexed.
+  std::vector<std::string> lines;              // kLines.
+};
+
+/// Result of running a script: everything DUMP produced, per-dataset row
+/// counts, and the aggregated cost of all jobs the script triggered.
+struct ExecutionReport {
+  std::vector<std::string> dump_output;
+  core::OpStats stats;
+};
+
+/// Executes Pigeon scripts against a cluster. The executor routes each
+/// logical operation to the best physical operator available: indexed
+/// inputs use the SpatialHadoop operators (pruned splits, distributed
+/// join), unindexed inputs fall back to the Hadoop full-scan operators.
+/// This routing *is* the demo's "flexibility" claim: the script does not
+/// change when an index appears, only its cost does.
+class Executor {
+ public:
+  explicit Executor(mapreduce::JobRunner* runner) : runner_(runner) {}
+
+  /// Parses and runs `script`. The environment persists across calls, so
+  /// a REPL can feed statements incrementally.
+  Result<ExecutionReport> Execute(std::string_view script);
+
+  /// Access to bound datasets (for tests and tooling).
+  const std::map<std::string, Dataset>& environment() const { return env_; }
+
+ private:
+  Result<Dataset> Eval(const Expr& expr, ExecutionReport* report);
+  Result<Dataset> LookUp(const std::string& name, int line) const;
+
+  /// Materializes a dataset as an HDFS file (writing result lines to a
+  /// temporary file when needed) so it can feed another operation.
+  Result<std::string> EnsureFile(const Dataset& dataset);
+
+  mapreduce::JobRunner* runner_;
+  std::map<std::string, Dataset> env_;
+  int temp_counter_ = 0;
+};
+
+}  // namespace shadoop::pigeon
+
+#endif  // SHADOOP_PIGEON_EXECUTOR_H_

@@ -1,0 +1,136 @@
+#include "pigeon/lexer.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace shadoop::pigeon {
+
+const char* TokenTypeName(TokenType type) {
+  switch (type) {
+    case TokenType::kIdentifier:
+      return "identifier";
+    case TokenType::kString:
+      return "string";
+    case TokenType::kNumber:
+      return "number";
+    case TokenType::kEquals:
+      return "'='";
+    case TokenType::kComma:
+      return "','";
+    case TokenType::kSemicolon:
+      return "';'";
+    case TokenType::kLeftParen:
+      return "'('";
+    case TokenType::kRightParen:
+      return "')'";
+    case TokenType::kEnd:
+      return "end of script";
+  }
+  return "?";
+}
+
+Result<std::vector<Token>> Tokenize(std::string_view script) {
+  std::vector<Token> tokens;
+  int line = 1;
+  size_t i = 0;
+  while (i < script.size()) {
+    const char c = script[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Comments: "--" to end of line.
+    if (c == '-' && i + 1 < script.size() && script[i + 1] == '-') {
+      while (i < script.size() && script[i] != '\n') ++i;
+      continue;
+    }
+    Token token;
+    token.line = line;
+    switch (c) {
+      case '=':
+        token.type = TokenType::kEquals;
+        ++i;
+        break;
+      case ',':
+        token.type = TokenType::kComma;
+        ++i;
+        break;
+      case ';':
+        token.type = TokenType::kSemicolon;
+        ++i;
+        break;
+      case '(':
+        token.type = TokenType::kLeftParen;
+        ++i;
+        break;
+      case ')':
+        token.type = TokenType::kRightParen;
+        ++i;
+        break;
+      case '\'': {
+        token.type = TokenType::kString;
+        size_t end = script.find('\'', i + 1);
+        if (end == std::string_view::npos) {
+          return Status::ParseError("unterminated string at line " +
+                                    std::to_string(line));
+        }
+        token.text = std::string(script.substr(i + 1, end - i - 1));
+        i = end + 1;
+        break;
+      }
+      default: {
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+          size_t end = i;
+          while (end < script.size() &&
+                 (std::isalnum(static_cast<unsigned char>(script[end])) ||
+                  script[end] == '_')) {
+            ++end;
+          }
+          token.type = TokenType::kIdentifier;
+          token.text = std::string(script.substr(i, end - i));
+          i = end;
+        } else if (std::isdigit(static_cast<unsigned char>(c)) || c == '-' ||
+                   c == '+' || c == '.') {
+          size_t end = i + 1;
+          while (end < script.size() &&
+                 (std::isdigit(static_cast<unsigned char>(script[end])) ||
+                  script[end] == '.' || script[end] == 'e' ||
+                  script[end] == 'E' ||
+                  ((script[end] == '-' || script[end] == '+') &&
+                   (script[end - 1] == 'e' || script[end - 1] == 'E')))) {
+            ++end;
+          }
+          token.type = TokenType::kNumber;
+          token.text = std::string(script.substr(i, end - i));
+          // std::from_chars rejects an explicit leading '+'.
+          auto value = ParseDouble(token.text.front() == '+'
+                                       ? std::string_view(token.text).substr(1)
+                                       : std::string_view(token.text));
+          if (!value.ok()) {
+            return Status::ParseError("bad number '" + token.text +
+                                      "' at line " + std::to_string(line));
+          }
+          token.number = value.value();
+          i = end;
+        } else {
+          return Status::ParseError(std::string("unexpected character '") + c +
+                                    "' at line " + std::to_string(line));
+        }
+      }
+    }
+    tokens.push_back(std::move(token));
+  }
+  Token end_token;
+  end_token.type = TokenType::kEnd;
+  end_token.line = line;
+  tokens.push_back(end_token);
+  return tokens;
+}
+
+}  // namespace shadoop::pigeon

@@ -1,0 +1,20 @@
+#ifndef SHADOOP_PIGEON_LEXER_H_
+#define SHADOOP_PIGEON_LEXER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "pigeon/token.h"
+
+namespace shadoop::pigeon {
+
+/// Tokenizes a Pigeon script. Comments run from "--" to end of line.
+/// Identifiers are [A-Za-z_][A-Za-z0-9_]*; strings are single-quoted with
+/// no escapes (paths never need them); numbers accept a sign, decimals
+/// and exponents.
+Result<std::vector<Token>> Tokenize(std::string_view script);
+
+}  // namespace shadoop::pigeon
+
+#endif  // SHADOOP_PIGEON_LEXER_H_

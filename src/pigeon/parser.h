@@ -1,0 +1,17 @@
+#ifndef SHADOOP_PIGEON_PARSER_H_
+#define SHADOOP_PIGEON_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "pigeon/ast.h"
+
+namespace shadoop::pigeon {
+
+/// Parses a Pigeon script into statements. Keywords are case-insensitive;
+/// every statement ends with ';'. Errors carry the source line.
+Result<Script> Parse(std::string_view script);
+
+}  // namespace shadoop::pigeon
+
+#endif  // SHADOOP_PIGEON_PARSER_H_

@@ -1,0 +1,31 @@
+#ifndef SHADOOP_PIGEON_TOKEN_H_
+#define SHADOOP_PIGEON_TOKEN_H_
+
+#include <string>
+
+namespace shadoop::pigeon {
+
+enum class TokenType {
+  kIdentifier,  // dataset names and keywords (keywords resolved in parser)
+  kString,      // '...' single-quoted
+  kNumber,
+  kEquals,
+  kComma,
+  kSemicolon,
+  kLeftParen,
+  kRightParen,
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;   // Identifier name, string contents, or number text.
+  double number = 0;  // Valid when type == kNumber.
+  int line = 1;       // 1-based source line, for error messages.
+};
+
+const char* TokenTypeName(TokenType type);
+
+}  // namespace shadoop::pigeon
+
+#endif  // SHADOOP_PIGEON_TOKEN_H_

@@ -1,0 +1,202 @@
+#include "workload/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+#include "geometry/wkt.h"
+
+namespace shadoop::workload {
+namespace {
+
+double Clamp01(double v) { return std::clamp(v, 0.0, 1.0); }
+
+/// Draws one point in unit space [0,1)^2 for the given distribution.
+Point UnitPoint(Distribution dist, Random& rng,
+                const std::vector<Point>& cluster_centers) {
+  switch (dist) {
+    case Distribution::kUniform:
+      return Point(rng.NextDouble(), rng.NextDouble());
+    case Distribution::kGaussian:
+      return Point(Clamp01(0.5 + rng.NextGaussian() * 0.15),
+                   Clamp01(0.5 + rng.NextGaussian() * 0.15));
+    case Distribution::kCorrelated: {
+      // Points hug the main diagonal: best case for skyline.
+      const double t = rng.NextDouble();
+      return Point(Clamp01(t + rng.NextGaussian() * 0.05),
+                   Clamp01(t + rng.NextGaussian() * 0.05));
+    }
+    case Distribution::kAntiCorrelated: {
+      // Points hug the anti-diagonal: worst case for skyline.
+      const double t = rng.NextDouble();
+      return Point(Clamp01(t + rng.NextGaussian() * 0.05),
+                   Clamp01(1.0 - t + rng.NextGaussian() * 0.05));
+    }
+    case Distribution::kCircular: {
+      // A thin ring: maximizes the convex hull size.
+      const double angle = rng.NextDouble() * 2.0 * M_PI;
+      const double radius = 0.4 + rng.NextGaussian() * 0.01;
+      return Point(Clamp01(0.5 + radius * std::cos(angle)),
+                   Clamp01(0.5 + radius * std::sin(angle)));
+    }
+    case Distribution::kClustered: {
+      const Point& center =
+          cluster_centers[rng.NextUint64(cluster_centers.size())];
+      return Point(Clamp01(center.x + rng.NextGaussian() * 0.03),
+                   Clamp01(center.y + rng.NextGaussian() * 0.03));
+    }
+  }
+  return Point(rng.NextDouble(), rng.NextDouble());
+}
+
+}  // namespace
+
+const char* DistributionName(Distribution dist) {
+  switch (dist) {
+    case Distribution::kUniform:
+      return "uniform";
+    case Distribution::kGaussian:
+      return "gaussian";
+    case Distribution::kCorrelated:
+      return "correlated";
+    case Distribution::kAntiCorrelated:
+      return "anticorrelated";
+    case Distribution::kCircular:
+      return "circular";
+    case Distribution::kClustered:
+      return "clustered";
+  }
+  return "?";
+}
+
+Result<Distribution> ParseDistribution(const std::string& name) {
+  const std::string upper = AsciiToUpper(name);
+  if (upper == "UNIFORM") return Distribution::kUniform;
+  if (upper == "GAUSSIAN") return Distribution::kGaussian;
+  if (upper == "CORRELATED") return Distribution::kCorrelated;
+  if (upper == "ANTICORRELATED" || upper == "ANTI") {
+    return Distribution::kAntiCorrelated;
+  }
+  if (upper == "CIRCULAR" || upper == "CIRCLE") return Distribution::kCircular;
+  if (upper == "CLUSTERED" || upper == "OSM") return Distribution::kClustered;
+  return Status::InvalidArgument("unknown distribution: " + name);
+}
+
+std::vector<Point> GeneratePoints(const PointGenOptions& options) {
+  Random rng(options.seed);
+  std::vector<Point> cluster_centers;
+  if (options.distribution == Distribution::kClustered) {
+    const int clusters = std::max(1, options.num_clusters);
+    cluster_centers.reserve(clusters);
+    for (int c = 0; c < clusters; ++c) {
+      cluster_centers.emplace_back(rng.NextDouble(), rng.NextDouble());
+    }
+  }
+  const Envelope& space = options.space;
+  std::vector<Point> points;
+  points.reserve(options.count);
+  for (size_t i = 0; i < options.count; ++i) {
+    const Point unit = UnitPoint(options.distribution, rng, cluster_centers);
+    points.emplace_back(space.min_x() + unit.x * space.Width(),
+                        space.min_y() + unit.y * space.Height());
+  }
+  return points;
+}
+
+std::vector<Envelope> GenerateRectangles(const RectGenOptions& options) {
+  const std::vector<Point> centers = GeneratePoints(options.centers);
+  Random rng(options.centers.seed ^ 0x9e3779b97f4a7c15ULL);
+  const Envelope& space = options.centers.space;
+  const double max_w = space.Width() * options.max_side_fraction;
+  const double max_h = space.Height() * options.max_side_fraction;
+  std::vector<Envelope> rects;
+  rects.reserve(centers.size());
+  for (const Point& c : centers) {
+    const double w = rng.NextDouble() * max_w;
+    const double h = rng.NextDouble() * max_h;
+    rects.emplace_back(std::max(space.min_x(), c.x - w / 2),
+                       std::max(space.min_y(), c.y - h / 2),
+                       std::min(space.max_x(), c.x + w / 2),
+                       std::min(space.max_y(), c.y + h / 2));
+  }
+  return rects;
+}
+
+std::vector<Polygon> GeneratePolygons(const PolygonGenOptions& options) {
+  const std::vector<Point> centers = GeneratePoints(options.centers);
+  Random rng(options.centers.seed ^ 0x5bf03635f0935ad1ULL);
+  const Envelope& space = options.centers.space;
+  const double max_radius = space.Width() * options.max_radius_fraction;
+  std::vector<Polygon> polygons;
+  polygons.reserve(centers.size());
+  for (const Point& c : centers) {
+    const int vertices =
+        options.min_vertices +
+        static_cast<int>(rng.NextUint64(
+            options.max_vertices - options.min_vertices + 1));
+    const double base_radius = (0.2 + 0.8 * rng.NextDouble()) * max_radius;
+    std::vector<Point> ring;
+    ring.reserve(vertices);
+    for (int v = 0; v < vertices; ++v) {
+      // Jittered angles keep the polygon simple (star-convex about c).
+      const double angle =
+          2.0 * M_PI * (v + 0.8 * rng.NextDouble()) / vertices;
+      const double r = base_radius * (0.5 + 0.5 * rng.NextDouble());
+      ring.emplace_back(c.x + r * std::cos(angle), c.y + r * std::sin(angle));
+    }
+    Polygon poly(std::move(ring));
+    poly.Normalize();
+    polygons.push_back(std::move(poly));
+  }
+  return polygons;
+}
+
+std::vector<std::string> PointsToRecords(const std::vector<Point>& points) {
+  std::vector<std::string> records;
+  records.reserve(points.size());
+  for (const Point& p : points) records.push_back(PointToCsv(p));
+  return records;
+}
+
+std::vector<std::string> RectanglesToRecords(
+    const std::vector<Envelope>& rects) {
+  std::vector<std::string> records;
+  records.reserve(rects.size());
+  for (const Envelope& r : rects) records.push_back(EnvelopeToCsv(r));
+  return records;
+}
+
+std::vector<std::string> PolygonsToRecords(
+    const std::vector<Polygon>& polygons) {
+  std::vector<std::string> records;
+  records.reserve(polygons.size());
+  for (const Polygon& p : polygons) records.push_back(ToWkt(p));
+  return records;
+}
+
+std::vector<std::string> AttachAttributes(std::vector<std::string> records,
+                                          const std::string& tag_prefix) {
+  for (size_t i = 0; i < records.size(); ++i) {
+    records[i] += "\tid=" + std::to_string(i) + ",tag=" + tag_prefix +
+                  std::to_string(i);
+  }
+  return records;
+}
+
+Status WritePointFile(hdfs::FileSystem* fs, const std::string& path,
+                      const PointGenOptions& options) {
+  return fs->WriteLines(path, PointsToRecords(GeneratePoints(options)));
+}
+
+Status WriteRectangleFile(hdfs::FileSystem* fs, const std::string& path,
+                          const RectGenOptions& options) {
+  return fs->WriteLines(path,
+                        RectanglesToRecords(GenerateRectangles(options)));
+}
+
+Status WritePolygonFile(hdfs::FileSystem* fs, const std::string& path,
+                        const PolygonGenOptions& options) {
+  return fs->WriteLines(path, PolygonsToRecords(GeneratePolygons(options)));
+}
+
+}  // namespace shadoop::workload

@@ -1,0 +1,89 @@
+#ifndef SHADOOP_WORKLOAD_GENERATORS_H_
+#define SHADOOP_WORKLOAD_GENERATORS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "geometry/envelope.h"
+#include "geometry/point.h"
+#include "geometry/polygon.h"
+#include "hdfs/file_system.h"
+
+namespace shadoop::workload {
+
+/// Synthetic data distributions standing in for the paper's real datasets
+/// (TIGER / OpenStreetMap). kClustered models OSM-style skew (dense
+/// cities, empty oceans); kCorrelated / kAntiCorrelated are the classic
+/// best/worst cases for skyline; kCircular maximizes the convex hull.
+enum class Distribution {
+  kUniform,
+  kGaussian,
+  kCorrelated,
+  kAntiCorrelated,
+  kCircular,
+  kClustered,
+};
+
+const char* DistributionName(Distribution dist);
+Result<Distribution> ParseDistribution(const std::string& name);
+
+struct PointGenOptions {
+  Distribution distribution = Distribution::kUniform;
+  size_t count = 1000;
+  Envelope space = Envelope(0, 0, 1e6, 1e6);
+  uint64_t seed = 1;
+  /// kClustered only: number of gaussian clusters.
+  int num_clusters = 16;
+};
+
+/// Deterministic point generation (same options -> same points).
+std::vector<Point> GeneratePoints(const PointGenOptions& options);
+
+struct RectGenOptions {
+  /// Distribution of rectangle centers.
+  PointGenOptions centers;
+  /// Rectangle sides are uniform in (0, max_side_fraction * space side].
+  double max_side_fraction = 0.01;
+};
+
+std::vector<Envelope> GenerateRectangles(const RectGenOptions& options);
+
+struct PolygonGenOptions {
+  /// Distribution of polygon centers.
+  PointGenOptions centers;
+  /// Circumradius is uniform in (0, max_radius_fraction * space width].
+  double max_radius_fraction = 0.01;
+  int min_vertices = 4;
+  int max_vertices = 12;
+};
+
+/// Random star-convex polygons (vertices at jittered angles and radii).
+std::vector<Polygon> GeneratePolygons(const PolygonGenOptions& options);
+
+/// Record formatting (the text formats of index::ShapeType).
+std::vector<std::string> PointsToRecords(const std::vector<Point>& points);
+std::vector<std::string> RectanglesToRecords(
+    const std::vector<Envelope>& rects);
+std::vector<std::string> PolygonsToRecords(
+    const std::vector<Polygon>& polygons);
+
+/// Appends a tab-separated attribute payload ("id=<i>,tag=<prefix><i>") to
+/// each record, mimicking real datasets where geometry is one column of
+/// many. The spatial layers only interpret the geometry field; operations
+/// carry attributes through untouched.
+std::vector<std::string> AttachAttributes(std::vector<std::string> records,
+                                          const std::string& tag_prefix);
+
+/// Generates and uploads a dataset in one call.
+Status WritePointFile(hdfs::FileSystem* fs, const std::string& path,
+                      const PointGenOptions& options);
+Status WriteRectangleFile(hdfs::FileSystem* fs, const std::string& path,
+                          const RectGenOptions& options);
+Status WritePolygonFile(hdfs::FileSystem* fs, const std::string& path,
+                        const PolygonGenOptions& options);
+
+}  // namespace shadoop::workload
+
+#endif  // SHADOOP_WORKLOAD_GENERATORS_H_

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "core/aggregate_op.h"
+#include "geometry/wkt.h"
+#include "test_util.h"
+
+namespace shadoop::core {
+namespace {
+
+using index::PartitionScheme;
+
+int64_t BruteForceCount(const std::vector<Point>& points,
+                        const Envelope& query) {
+  int64_t count = 0;
+  for (const Point& p : points) count += query.Contains(p);
+  return count;
+}
+
+class RangeCountSchemeTest : public ::testing::TestWithParam<PartitionScheme> {
+};
+
+TEST_P(RangeCountSchemeTest, MatchesBruteForce) {
+  testing::TestCluster cluster;
+  const std::vector<Point> points = testing::WritePoints(
+      &cluster.fs, "/pts", 3000, workload::Distribution::kClustered, 21);
+  const index::SpatialFileInfo file =
+      testing::BuildIndex(&cluster.runner, "/pts", "/pts.idx", GetParam());
+  Random rng(4);
+  for (double frac : {0.05, 0.3, 0.9}) {
+    const double side = 1e6 * frac;
+    const double x = rng.NextDouble() * (1e6 - side);
+    const double y = rng.NextDouble() * (1e6 - side);
+    const Envelope query(x, y, x + side, y + side);
+    EXPECT_EQ(
+        RangeCountSpatial(&cluster.runner, file, query).ValueOrDie(),
+        BruteForceCount(points, query))
+        << "fraction " << frac;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, RangeCountSchemeTest,
+    ::testing::ValuesIn(testing::AllSchemes()),
+    [](const ::testing::TestParamInfo<PartitionScheme>& info) {
+      std::string name = index::PartitionSchemeName(info.param);
+      for (char& c : name) {
+        if (!isalnum(static_cast<unsigned char>(c))) c = 'x';
+      }
+      return name;
+    });
+
+TEST(RangeCountTest, HadoopMatchesBruteForce) {
+  testing::TestCluster cluster;
+  const std::vector<Point> points =
+      testing::WritePoints(&cluster.fs, "/pts", 1000);
+  const Envelope query(1e5, 1e5, 7e5, 4e5);
+  EXPECT_EQ(RangeCountHadoop(&cluster.runner, "/pts",
+                             index::ShapeType::kPoint, query)
+                .ValueOrDie(),
+            BruteForceCount(points, query));
+}
+
+TEST(RangeCountTest, MetadataShortcutAvoidsReadingCoveredPartitions) {
+  testing::TestCluster cluster;
+  const std::vector<Point> points =
+      testing::WritePoints(&cluster.fs, "/pts", 8000);
+  const index::SpatialFileInfo file = testing::BuildIndex(
+      &cluster.runner, "/pts", "/pts.idx", PartitionScheme::kStr);
+  // A query covering most of the space: most partitions fully inside.
+  const Envelope query(1e4, 1e4, 9.9e5, 9.9e5);
+  OpStats stats;
+  EXPECT_EQ(RangeCountSpatial(&cluster.runner, file, query, &stats)
+                .ValueOrDie(),
+            BruteForceCount(points, query));
+  EXPECT_GT(stats.counters.Get("count.metadata_partitions"), 0);
+  EXPECT_LT(stats.cost.bytes_read,
+            cluster.fs.GetFileMeta("/pts.idx").ValueOrDie().total_bytes / 2)
+      << "covered partitions must not be read";
+}
+
+TEST(RangeCountTest, WholeFileQueryCostsZeroJobs) {
+  testing::TestCluster cluster;
+  const std::vector<Point> points =
+      testing::WritePoints(&cluster.fs, "/pts", 2000);
+  const index::SpatialFileInfo file = testing::BuildIndex(
+      &cluster.runner, "/pts", "/pts.idx", PartitionScheme::kKdTree);
+  Envelope everything;
+  for (const Point& p : points) everything.ExpandToInclude(p);
+  OpStats stats;
+  EXPECT_EQ(RangeCountSpatial(&cluster.runner, file, everything, &stats)
+                .ValueOrDie(),
+            static_cast<int64_t>(points.size()));
+  EXPECT_EQ(stats.jobs_run, 0) << "answered entirely from the master file";
+  EXPECT_EQ(stats.cost.bytes_read, 0u);
+}
+
+TEST(RangeCountTest, ReplicatedRectanglesStillCountedOnce) {
+  testing::TestCluster cluster;
+  workload::RectGenOptions options;
+  options.centers.count = 1000;
+  options.centers.seed = 31;
+  options.max_side_fraction = 0.08;
+  const std::vector<Envelope> rects = workload::GenerateRectangles(options);
+  ASSERT_TRUE(cluster.fs
+                  .WriteLines("/rects", workload::RectanglesToRecords(rects))
+                  .ok());
+  const index::SpatialFileInfo file = testing::BuildIndex(
+      &cluster.runner, "/rects", "/rects.idx", PartitionScheme::kQuadTree,
+      index::ShapeType::kRectangle);
+  const Envelope query(2e5, 2e5, 8e5, 8e5);
+  int64_t expected = 0;
+  for (const Envelope& r : rects) expected += r.Intersects(query);
+  EXPECT_EQ(RangeCountSpatial(&cluster.runner, file, query).ValueOrDie(),
+            expected);
+}
+
+}  // namespace
+}  // namespace shadoop::core

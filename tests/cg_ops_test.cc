@@ -1,0 +1,229 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "core/closest_pair_op.h"
+#include "core/convex_hull_op.h"
+#include "core/farthest_pair_op.h"
+#include "core/skyline_op.h"
+#include "core/union_op.h"
+#include "geometry/convex_hull.h"
+#include "geometry/farthest_pair.h"
+#include "geometry/polygon_union.h"
+#include "geometry/skyline.h"
+#include "geometry/wkt.h"
+#include "test_util.h"
+
+namespace shadoop::core {
+namespace {
+
+using index::PartitionScheme;
+using workload::Distribution;
+
+std::multiset<std::pair<double, double>> ToSet(
+    const std::vector<Point>& points) {
+  std::multiset<std::pair<double, double>> s;
+  for (const Point& p : points) s.insert({p.x, p.y});
+  return s;
+}
+
+struct CgCase {
+  PartitionScheme scheme;
+  Distribution distribution;
+};
+
+std::string CgCaseName(const ::testing::TestParamInfo<CgCase>& info) {
+  std::string name = index::PartitionSchemeName(info.param.scheme);
+  name += "_";
+  name += workload::DistributionName(info.param.distribution);
+  for (char& c : name) {
+    if (!isalnum(static_cast<unsigned char>(c))) c = 'x';
+  }
+  return name;
+}
+
+class CgOpsSchemeTest : public ::testing::TestWithParam<CgCase> {
+ protected:
+  void SetUp() override {
+    points_ = testing::WritePoints(&cluster_.fs, "/pts", 2500,
+                                   GetParam().distribution, 77);
+    file_ = testing::BuildIndex(&cluster_.runner, "/pts", "/pts.idx",
+                                GetParam().scheme);
+  }
+
+  testing::TestCluster cluster_;
+  std::vector<Point> points_;
+  index::SpatialFileInfo file_;
+};
+
+TEST_P(CgOpsSchemeTest, SkylineMatchesSingleMachine) {
+  const std::vector<Point> expected = Skyline(points_);
+  auto spatial = SkylineSpatial(&cluster_.runner, file_).ValueOrDie();
+  EXPECT_EQ(ToSet(spatial), ToSet(expected));
+}
+
+TEST_P(CgOpsSchemeTest, ConvexHullMatchesSingleMachine) {
+  const std::vector<Point> expected = ConvexHull(points_);
+  auto spatial = ConvexHullSpatial(&cluster_.runner, file_).ValueOrDie();
+  EXPECT_EQ(ToSet(spatial), ToSet(expected));
+}
+
+TEST_P(CgOpsSchemeTest, FarthestPairMatchesSingleMachine) {
+  const PointPair expected = FarthestPair(points_);
+  auto spatial = FarthestPairSpatial(&cluster_.runner, file_).ValueOrDie();
+  EXPECT_NEAR(spatial.distance, expected.distance, 1e-9);
+}
+
+TEST_P(CgOpsSchemeTest, ClosestPairMatchesSingleMachine) {
+  if (!index::IsDisjointScheme(GetParam().scheme)) {
+    auto result = ClosestPairSpatial(&cluster_.runner, file_);
+    EXPECT_TRUE(result.status().IsInvalidArgument());
+    return;
+  }
+  const PointPair expected = ClosestPair(points_);
+  auto spatial = ClosestPairSpatial(&cluster_.runner, file_).ValueOrDie();
+  EXPECT_NEAR(spatial.distance, expected.distance, 1e-9);
+}
+
+std::vector<CgCase> AllCgCases() {
+  std::vector<CgCase> cases;
+  for (PartitionScheme scheme : testing::AllSchemes()) {
+    for (Distribution dist :
+         {Distribution::kUniform, Distribution::kAntiCorrelated,
+          Distribution::kCircular}) {
+      cases.push_back({scheme, dist});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, CgOpsSchemeTest,
+                         ::testing::ValuesIn(AllCgCases()), CgCaseName);
+
+TEST(CgOpsTest, SkylineHadoopMatchesSingleMachine) {
+  testing::TestCluster cluster;
+  const std::vector<Point> points = testing::WritePoints(
+      &cluster.fs, "/pts", 2000, Distribution::kAntiCorrelated);
+  auto hadoop = SkylineHadoop(&cluster.runner, "/pts").ValueOrDie();
+  EXPECT_EQ(ToSet(hadoop), ToSet(Skyline(points)));
+}
+
+TEST(CgOpsTest, ConvexHullHadoopMatchesSingleMachine) {
+  testing::TestCluster cluster;
+  const std::vector<Point> points =
+      testing::WritePoints(&cluster.fs, "/pts", 2000, Distribution::kCircular);
+  auto hadoop = ConvexHullHadoop(&cluster.runner, "/pts").ValueOrDie();
+  EXPECT_EQ(ToSet(hadoop), ToSet(ConvexHull(points)));
+}
+
+TEST(CgOpsTest, FarthestPairHadoopMatchesSingleMachine) {
+  testing::TestCluster cluster;
+  const std::vector<Point> points =
+      testing::WritePoints(&cluster.fs, "/pts", 1000);
+  auto hadoop = FarthestPairHadoop(&cluster.runner, "/pts").ValueOrDie();
+  EXPECT_NEAR(hadoop.distance, FarthestPairBruteForce(points).distance, 1e-9);
+}
+
+TEST(CgOpsTest, SkylineFilterPrunesMostPartitions) {
+  testing::TestCluster cluster;
+  testing::WritePoints(&cluster.fs, "/pts", 8000, Distribution::kUniform);
+  const index::SpatialFileInfo file = testing::BuildIndex(
+      &cluster.runner, "/pts", "/pts.idx", PartitionScheme::kStr);
+  ASSERT_GT(file.global_index.NumPartitions(), 8u);
+  const std::vector<int> kept = SkylinePartitionFilter(file.global_index);
+  EXPECT_LT(kept.size(), file.global_index.NumPartitions() / 2)
+      << "uniform data: most partitions are dominated";
+}
+
+TEST(CgOpsTest, FarthestPairFilterPrunesMostPairs) {
+  testing::TestCluster cluster;
+  testing::WritePoints(&cluster.fs, "/pts", 8000, Distribution::kUniform);
+  const index::SpatialFileInfo file = testing::BuildIndex(
+      &cluster.runner, "/pts", "/pts.idx", PartitionScheme::kGrid);
+  const size_t n = file.global_index.NumPartitions();
+  ASSERT_GT(n, 8u);
+  const auto pairs = FarthestPairPartitionFilter(file.global_index);
+  EXPECT_LT(pairs.size(), n * (n + 1) / 4) << "most pairs are dominated";
+}
+
+// ---------------------------------------------------------------------
+// Union
+
+double TotalLength(const std::vector<Segment>& segments) {
+  double total = 0;
+  for (const Segment& s : segments) total += s.Length();
+  return total;
+}
+
+TEST(UnionOpTest, HadoopUnionMatchesSingleMachineLength) {
+  testing::TestCluster cluster;
+  workload::PolygonGenOptions options;
+  options.centers.count = 150;
+  options.centers.seed = 3;
+  options.max_radius_fraction = 0.06;  // Dense enough to overlap.
+  const std::vector<Polygon> polygons = workload::GeneratePolygons(options);
+  ASSERT_TRUE(cluster.fs
+                  .WriteLines("/poly", workload::PolygonsToRecords(polygons))
+                  .ok());
+  auto hadoop = UnionHadoop(&cluster.runner, "/poly").ValueOrDie();
+  // The single-machine reference computes the same boundary. Lengths are
+  // compared because segment subdivision may differ.
+  EXPECT_NEAR(TotalLength(hadoop), UnionBoundaryLength(polygons),
+              UnionBoundaryLength(polygons) * 1e-6);
+}
+
+TEST(UnionOpTest, EnhancedUnionMatchesHadoopUnion) {
+  testing::TestCluster cluster(/*block_size=*/2 * 1024);
+  workload::PolygonGenOptions options;
+  options.centers.count = 200;
+  options.centers.seed = 8;
+  options.max_radius_fraction = 0.05;
+  const std::vector<Polygon> polygons = workload::GeneratePolygons(options);
+  ASSERT_TRUE(cluster.fs
+                  .WriteLines("/poly", workload::PolygonsToRecords(polygons))
+                  .ok());
+  const index::SpatialFileInfo file =
+      testing::BuildIndex(&cluster.runner, "/poly", "/poly.idx",
+                          PartitionScheme::kQuadTree,
+                          index::ShapeType::kPolygon);
+  ASSERT_GT(file.global_index.NumPartitions(), 2u);
+  OpStats hadoop_stats;
+  OpStats enhanced_stats;
+  auto hadoop =
+      UnionHadoop(&cluster.runner, "/poly", &hadoop_stats).ValueOrDie();
+  auto enhanced =
+      UnionSpatialEnhanced(&cluster.runner, file, &enhanced_stats)
+          .ValueOrDie();
+  EXPECT_NEAR(TotalLength(enhanced), TotalLength(hadoop),
+              TotalLength(hadoop) * 1e-6);
+  EXPECT_EQ(enhanced_stats.cost.bytes_shuffled, 0u)
+      << "enhanced union is map-only";
+}
+
+TEST(UnionOpTest, EnhancedUnionRejectsNonDisjointIndex) {
+  testing::TestCluster cluster;
+  workload::PolygonGenOptions options;
+  options.centers.count = 50;
+  const std::vector<Polygon> polygons = workload::GeneratePolygons(options);
+  ASSERT_TRUE(cluster.fs
+                  .WriteLines("/poly", workload::PolygonsToRecords(polygons))
+                  .ok());
+  const index::SpatialFileInfo file = testing::BuildIndex(
+      &cluster.runner, "/poly", "/poly.idx", PartitionScheme::kStr,
+      index::ShapeType::kPolygon);
+  EXPECT_TRUE(UnionSpatialEnhanced(&cluster.runner, file)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(UnionOpTest, SegmentCodecRoundTrips) {
+  const Segment s(Point(1.5, -2.25), Point(1e6, 0.125));
+  const Segment parsed = ParseSegmentCsv(SegmentToCsv(s)).ValueOrDie();
+  EXPECT_EQ(parsed, s);
+  EXPECT_FALSE(ParseSegmentCsv("1,2,3").ok());
+}
+
+}  // namespace
+}  // namespace shadoop::core

@@ -1,0 +1,181 @@
+// Cross-operation consistency properties: independent code paths that
+// must agree with each other (count vs materialized size, histogram vs
+// total, permutation invariance, build determinism, hull/skyline
+// invariants) across schemes and distributions.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/aggregate_op.h"
+#include "core/convex_hull_op.h"
+#include "core/histogram_op.h"
+#include "core/range_query.h"
+#include "core/skyline_op.h"
+#include "geometry/convex_hull.h"
+#include "geometry/polygon_union.h"
+#include "geometry/skyline.h"
+#include "geometry/wkt.h"
+#include "test_util.h"
+
+namespace shadoop::core {
+namespace {
+
+using index::PartitionScheme;
+using workload::Distribution;
+
+struct ConsistencyCase {
+  PartitionScheme scheme;
+  Distribution distribution;
+};
+
+class ConsistencyTest : public ::testing::TestWithParam<ConsistencyCase> {};
+
+TEST_P(ConsistencyTest, CountEqualsRangeSizeAndHistogramTotal) {
+  testing::TestCluster cluster;
+  testing::WritePoints(&cluster.fs, "/pts", 2200, GetParam().distribution,
+                       13);
+  const auto file = testing::BuildIndex(&cluster.runner, "/pts", "/pts.idx",
+                                        GetParam().scheme);
+  Random rng(6);
+  for (int q = 0; q < 3; ++q) {
+    const double x = rng.NextDouble(0, 7e5);
+    const double y = rng.NextDouble(0, 7e5);
+    const Envelope query(x, y, x + 3e5, y + 3e5);
+    const auto range =
+        RangeQuerySpatial(&cluster.runner, file, query).ValueOrDie();
+    const int64_t count =
+        RangeCountSpatial(&cluster.runner, file, query).ValueOrDie();
+    EXPECT_EQ(count, static_cast<int64_t>(range.size()));
+  }
+  const auto histogram =
+      ComputeGridHistogram(&cluster.runner, "/pts", index::ShapeType::kPoint,
+                           Envelope(0, 0, 1e6, 1e6), 16, 16)
+          .ValueOrDie();
+  EXPECT_EQ(histogram.TotalCount(), 2200);
+}
+
+TEST_P(ConsistencyTest, DistributedSkylineIsIdempotentAndUndominated) {
+  testing::TestCluster cluster;
+  const auto points = testing::WritePoints(&cluster.fs, "/pts", 1800,
+                                           GetParam().distribution, 14);
+  const auto file = testing::BuildIndex(&cluster.runner, "/pts", "/pts.idx",
+                                        GetParam().scheme);
+  const auto sky = SkylineSpatial(&cluster.runner, file).ValueOrDie();
+  // Invariant 1: every skyline point is an input point.
+  const std::set<std::pair<double, double>> input = [&] {
+    std::set<std::pair<double, double>> s;
+    for (const Point& p : points) s.insert({p.x, p.y});
+    return s;
+  }();
+  for (const Point& p : sky) {
+    EXPECT_TRUE(input.count({p.x, p.y})) << p.x << "," << p.y;
+  }
+  // Invariant 2: no input point dominates any skyline point.
+  for (const Point& s : sky) {
+    for (const Point& p : points) {
+      EXPECT_FALSE(Dominates(p, s, SkylineDominance::kMaxMax));
+    }
+  }
+  // Invariant 3: idempotence.
+  EXPECT_EQ(Skyline(sky), sky);
+}
+
+TEST_P(ConsistencyTest, DistributedHullContainsEveryInputPoint) {
+  testing::TestCluster cluster;
+  const auto points = testing::WritePoints(&cluster.fs, "/pts", 1500,
+                                           GetParam().distribution, 15);
+  const auto file = testing::BuildIndex(&cluster.runner, "/pts", "/pts.idx",
+                                        GetParam().scheme);
+  const auto hull = ConvexHullSpatial(&cluster.runner, file).ValueOrDie();
+  for (const Point& p : points) {
+    EXPECT_TRUE(HullContains(hull, p)) << p.x << "," << p.y;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, ConsistencyTest,
+    ::testing::Values(
+        ConsistencyCase{PartitionScheme::kGrid, Distribution::kUniform},
+        ConsistencyCase{PartitionScheme::kStr, Distribution::kClustered},
+        ConsistencyCase{PartitionScheme::kQuadTree,
+                        Distribution::kAntiCorrelated},
+        ConsistencyCase{PartitionScheme::kZCurve, Distribution::kGaussian}),
+    [](const ::testing::TestParamInfo<ConsistencyCase>& info) {
+      std::string name = index::PartitionSchemeName(info.param.scheme);
+      name += "_";
+      name += workload::DistributionName(info.param.distribution);
+      for (char& c : name) {
+        if (!isalnum(static_cast<unsigned char>(c))) c = 'x';
+      }
+      return name;
+    });
+
+TEST(DeterminismTest, IndexBuildsAreBitIdentical) {
+  testing::TestCluster cluster;
+  testing::WritePoints(&cluster.fs, "/pts", 2500,
+                       Distribution::kClustered, 16);
+  testing::BuildIndex(&cluster.runner, "/pts", "/first",
+                      PartitionScheme::kStr);
+  testing::BuildIndex(&cluster.runner, "/pts", "/second",
+                      PartitionScheme::kStr);
+  EXPECT_EQ(cluster.fs.ReadLines("/first").ValueOrDie(),
+            cluster.fs.ReadLines("/second").ValueOrDie());
+  // Master files differ only in... nothing: identical too.
+  EXPECT_EQ(cluster.fs.ReadLines("/first_master").ValueOrDie(),
+            cluster.fs.ReadLines("/second_master").ValueOrDie());
+}
+
+TEST(PermutationInvarianceTest, UnionBoundaryLength) {
+  workload::PolygonGenOptions options;
+  options.centers.count = 60;
+  options.centers.seed = 31;
+  options.max_radius_fraction = 0.08;
+  std::vector<Polygon> polygons = workload::GeneratePolygons(options);
+  const double original = UnionBoundaryLength(polygons);
+  Random rng(2);
+  for (int round = 0; round < 3; ++round) {
+    // Fisher-Yates with the deterministic RNG.
+    for (size_t i = polygons.size(); i > 1; --i) {
+      std::swap(polygons[i - 1], polygons[rng.NextUint64(i)]);
+    }
+    EXPECT_NEAR(UnionBoundaryLength(polygons), original, original * 1e-9);
+  }
+}
+
+TEST(PermutationInvarianceTest, RangeQueryIgnoresClusterShape) {
+  // The same query over the same indexed data must return the same
+  // records regardless of datanode count and worker slots.
+  std::multiset<std::string> reference;
+  for (int slots : {2, 7}) {
+    hdfs::HdfsConfig hdfs_config;
+    hdfs_config.block_size = 4 * 1024;
+    hdfs_config.num_datanodes = slots * 3;
+    hdfs::FileSystem fs(hdfs_config);
+    mapreduce::ClusterConfig cluster_config;
+    cluster_config.num_slots = slots;
+    mapreduce::JobRunner runner(&fs, cluster_config);
+    workload::PointGenOptions gen;
+    gen.count = 1500;
+    gen.seed = 44;
+    SHADOOP_CHECK_OK(workload::WritePointFile(&fs, "/pts", gen));
+    index::IndexBuilder builder(&runner);
+    index::IndexBuildOptions options;
+    options.scheme = PartitionScheme::kKdTree;
+    const auto file = builder.Build("/pts", "/pts.idx", options).ValueOrDie();
+    auto result = RangeQuerySpatial(&runner, file,
+                                    Envelope(1e5, 1e5, 6e5, 6e5))
+                      .ValueOrDie();
+    std::multiset<std::string> current(result.begin(), result.end());
+    if (reference.empty()) {
+      reference = current;
+    } else {
+      EXPECT_EQ(current, reference);
+    }
+  }
+  EXPECT_FALSE(reference.empty());
+}
+
+}  // namespace
+}  // namespace shadoop::core

@@ -1,0 +1,211 @@
+// Tests for the extended features: grid histograms, histogram-balanced
+// SJMR, persisted local indexes, and attribute pass-through.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/histogram_op.h"
+#include "core/knn.h"
+#include "core/range_query.h"
+#include "core/spatial_join.h"
+#include "geometry/wkt.h"
+#include "test_util.h"
+
+namespace shadoop::core {
+namespace {
+
+using index::PartitionScheme;
+
+TEST(HistogramTest, CountsMatchBruteForce) {
+  testing::TestCluster cluster;
+  const std::vector<Point> points = testing::WritePoints(
+      &cluster.fs, "/pts", 3000, workload::Distribution::kClustered, 6);
+  const Envelope space(0, 0, 1e6, 1e6);
+  const GridHistogram histogram =
+      ComputeGridHistogram(&cluster.runner, "/pts", index::ShapeType::kPoint,
+                           space, 8, 8)
+          .ValueOrDie();
+  EXPECT_EQ(histogram.TotalCount(), 3000);
+
+  GridHistogram expected(8, 8, space);
+  for (const Point& p : points) {
+    expected.Add(expected.CellOf(p) % 8, expected.CellOf(p) / 8, 1);
+  }
+  for (int row = 0; row < 8; ++row) {
+    for (int col = 0; col < 8; ++col) {
+      EXPECT_EQ(histogram.At(col, row), expected.At(col, row))
+          << col << "," << row;
+    }
+  }
+  // Clustered data: heavily skewed histogram.
+  EXPECT_GT(histogram.MaxCount(), 3000 / 64 * 4);
+}
+
+TEST(HistogramTest, WeightedSampleTracksDensity) {
+  GridHistogram histogram(2, 1, Envelope(0, 0, 2, 1));
+  histogram.Add(0, 0, 90);
+  histogram.Add(1, 0, 10);
+  const std::vector<Point> sample = histogram.ToWeightedSample(100);
+  size_t left = 0;
+  for (const Point& p : sample) left += p.x < 1.0;
+  EXPECT_NEAR(static_cast<double>(left) / sample.size(), 0.9, 0.05);
+}
+
+TEST(HistogramTest, RejectsBadArguments) {
+  testing::TestCluster cluster;
+  testing::WritePoints(&cluster.fs, "/pts", 10);
+  EXPECT_TRUE(ComputeGridHistogram(&cluster.runner, "/pts",
+                                   index::ShapeType::kPoint,
+                                   Envelope(0, 0, 1, 1), 0, 4)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ComputeGridHistogram(&cluster.runner, "/pts",
+                                   index::ShapeType::kPoint, Envelope(), 4, 4)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(BalancedSjmrTest, SameResultsAsUniformGrid) {
+  testing::TestCluster cluster;
+  workload::RectGenOptions options;
+  options.centers.distribution = workload::Distribution::kClustered;
+  options.centers.count = 600;
+  options.centers.seed = 9;
+  options.max_side_fraction = 0.03;
+  ASSERT_TRUE(cluster.fs
+                  .WriteLines("/a", workload::RectanglesToRecords(
+                                        workload::GenerateRectangles(options)))
+                  .ok());
+  options.centers.seed = 10;
+  ASSERT_TRUE(cluster.fs
+                  .WriteLines("/b", workload::RectanglesToRecords(
+                                        workload::GenerateRectangles(options)))
+                  .ok());
+  auto uniform = SjmrJoin(&cluster.runner, "/a", index::ShapeType::kRectangle,
+                          "/b", index::ShapeType::kRectangle)
+                     .ValueOrDie();
+  SjmrOptions balanced_options;
+  balanced_options.histogram_balanced = true;
+  OpStats stats;
+  auto balanced =
+      SjmrJoin(&cluster.runner, "/a", index::ShapeType::kRectangle, "/b",
+               index::ShapeType::kRectangle, &stats, balanced_options)
+          .ValueOrDie();
+  EXPECT_EQ(std::multiset<std::string>(uniform.begin(), uniform.end()),
+            std::multiset<std::string>(balanced.begin(), balanced.end()));
+  EXPECT_GE(stats.jobs_run, 5) << "2 MBR + 2 histogram + 1 join";
+}
+
+TEST(LocalIndexTest, HeaderCodecRoundTrips) {
+  const std::vector<Envelope> envelopes = {Envelope(1, 2, 3, 4), Envelope(),
+                                           Envelope(-1, -2, 0, 0)};
+  const std::string header = index::EncodeLocalIndexHeader(envelopes);
+  EXPECT_TRUE(index::IsMetadataRecord(header));
+  const auto decoded = index::DecodeLocalIndexHeader(header).ValueOrDie();
+  // The empty envelope serializes as inf bounds; count must be preserved.
+  ASSERT_EQ(decoded.size(), 3u);
+  EXPECT_EQ(decoded[0], envelopes[0]);
+  EXPECT_EQ(decoded[2], envelopes[2]);
+  EXPECT_FALSE(index::DecodeLocalIndexHeader("#other").ok());
+}
+
+TEST(LocalIndexTest, PersistedIndexGivesSameAnswersWithLessCpu) {
+  testing::TestCluster cluster;
+  workload::PolygonGenOptions polys;
+  polys.centers.count = 1200;
+  polys.centers.seed = 4;
+  polys.max_radius_fraction = 0.02;
+  const auto polygons = workload::GeneratePolygons(polys);
+  ASSERT_TRUE(cluster.fs
+                  .WriteLines("/poly", workload::PolygonsToRecords(polygons))
+                  .ok());
+
+  index::IndexBuilder builder(&cluster.runner);
+  index::IndexBuildOptions plain;
+  plain.scheme = PartitionScheme::kStr;
+  plain.shape = index::ShapeType::kPolygon;
+  const auto without =
+      builder.Build("/poly", "/poly.plain", plain).ValueOrDie();
+  index::IndexBuildOptions with = plain;
+  with.build_local_indexes = true;
+  const auto with_lidx =
+      builder.Build("/poly", "/poly.lidx", with).ValueOrDie();
+  EXPECT_TRUE(with_lidx.has_local_indexes);
+  EXPECT_FALSE(without.has_local_indexes);
+
+  // Reload from the master file keeps the flag.
+  EXPECT_TRUE(index::LoadSpatialFile(cluster.fs, "/poly.lidx")
+                  .ValueOrDie()
+                  .has_local_indexes);
+
+  const Envelope query(2e5, 2e5, 6e5, 6e5);
+  OpStats stats_plain;
+  OpStats stats_lidx;
+  auto r1 = RangeQuerySpatial(&cluster.runner, without, query, &stats_plain)
+                .ValueOrDie();
+  auto r2 = RangeQuerySpatial(&cluster.runner, with_lidx, query, &stats_lidx)
+                .ValueOrDie();
+  EXPECT_EQ(std::multiset<std::string>(r1.begin(), r1.end()),
+            std::multiset<std::string>(r2.begin(), r2.end()));
+  // The header costs extra bytes but saves the O(n log n) build charge.
+  EXPECT_GT(stats_lidx.cost.bytes_read, stats_plain.cost.bytes_read);
+}
+
+TEST(LocalIndexTest, OtherOperationsIgnoreTheHeader) {
+  testing::TestCluster cluster;
+  const std::vector<Point> points =
+      testing::WritePoints(&cluster.fs, "/pts", 1500);
+  index::IndexBuilder builder(&cluster.runner);
+  index::IndexBuildOptions options;
+  options.scheme = PartitionScheme::kGrid;
+  options.build_local_indexes = true;
+  const auto file = builder.Build("/pts", "/pts.lidx", options).ValueOrDie();
+
+  // kNN over the lidx file: header lines must not poison the answers.
+  auto knn = KnnSpatial(&cluster.runner, file, Point(5e5, 5e5), 5)
+                 .ValueOrDie();
+  ASSERT_EQ(knn.size(), 5u);
+  for (const auto& answer : knn) {
+    EXPECT_TRUE(index::RecordPoint(answer.record).ok()) << answer.record;
+  }
+  // Re-indexing an lidx file also works (headers skipped).
+  index::IndexBuildOptions reindex;
+  reindex.scheme = PartitionScheme::kStr;
+  const auto rebuilt =
+      builder.Build("/pts.lidx", "/pts.re", reindex).ValueOrDie();
+  size_t total = 0;
+  for (const auto& p : rebuilt.global_index.partitions()) {
+    total += p.num_records;
+  }
+  EXPECT_EQ(total, points.size());
+}
+
+TEST(AttributeTest, AttributesSurviveIndexingAndQueries) {
+  testing::TestCluster cluster;
+  workload::PointGenOptions gen;
+  gen.count = 800;
+  gen.seed = 77;
+  const std::vector<Point> points = workload::GeneratePoints(gen);
+  const std::vector<std::string> records =
+      workload::AttachAttributes(workload::PointsToRecords(points), "poi");
+  ASSERT_TRUE(cluster.fs.WriteLines("/pts", records).ok());
+  const auto file = testing::BuildIndex(&cluster.runner, "/pts", "/pts.idx",
+                                        PartitionScheme::kStr);
+
+  const Envelope query(1e5, 1e5, 8e5, 8e5);
+  auto result = RangeQuerySpatial(&cluster.runner, file, query).ValueOrDie();
+  std::multiset<std::string> expected;
+  for (size_t i = 0; i < points.size(); ++i) {
+    if (query.Contains(points[i])) expected.insert(records[i]);
+  }
+  EXPECT_EQ(std::multiset<std::string>(result.begin(), result.end()),
+            expected);
+  for (const std::string& record : result) {
+    EXPECT_NE(record.find("\tid="), std::string::npos)
+        << "attributes must pass through: " << record;
+  }
+}
+
+}  // namespace
+}  // namespace shadoop::core

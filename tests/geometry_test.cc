@@ -1,0 +1,261 @@
+#include <gtest/gtest.h>
+
+#include "geometry/envelope.h"
+#include "geometry/point.h"
+#include "geometry/polygon.h"
+#include "geometry/polygon_clip.h"
+#include "geometry/segment.h"
+#include "geometry/simplify.h"
+#include "geometry/wkt.h"
+
+namespace shadoop {
+namespace {
+
+TEST(PointTest, OrderingAndDistance) {
+  EXPECT_LT(Point(1, 5), Point(2, 0));
+  EXPECT_LT(Point(1, 1), Point(1, 2));
+  EXPECT_DOUBLE_EQ(Distance(Point(0, 0), Point(3, 4)), 5.0);
+  EXPECT_DOUBLE_EQ(SquaredDistance(Point(1, 1), Point(2, 2)), 2.0);
+}
+
+TEST(PointTest, CrossProductOrientation) {
+  EXPECT_GT(Cross(Point(0, 0), Point(1, 0), Point(1, 1)), 0);  // CCW.
+  EXPECT_LT(Cross(Point(0, 0), Point(1, 0), Point(1, -1)), 0);  // CW.
+  EXPECT_EQ(Cross(Point(0, 0), Point(1, 1), Point(2, 2)), 0);  // Collinear.
+}
+
+TEST(EnvelopeTest, EmptyBehaviour) {
+  Envelope e;
+  EXPECT_TRUE(e.IsEmpty());
+  EXPECT_EQ(e.Area(), 0.0);
+  EXPECT_FALSE(e.Intersects(Envelope(0, 0, 1, 1)));
+  e.ExpandToInclude(Point(2, 3));
+  EXPECT_FALSE(e.IsEmpty());
+  EXPECT_EQ(e, Envelope(2, 3, 2, 3));
+}
+
+TEST(EnvelopeTest, ContainsAndIntersects) {
+  const Envelope e(0, 0, 10, 5);
+  EXPECT_TRUE(e.Contains(Point(0, 0)));
+  EXPECT_TRUE(e.Contains(Point(10, 5)));
+  EXPECT_FALSE(e.Contains(Point(10.001, 5)));
+  EXPECT_TRUE(e.Intersects(Envelope(10, 5, 20, 20)));  // Corner touch.
+  EXPECT_FALSE(e.Intersects(Envelope(11, 0, 20, 5)));
+  EXPECT_TRUE(e.Contains(Envelope(1, 1, 2, 2)));
+  EXPECT_FALSE(e.Contains(Envelope(1, 1, 11, 2)));
+}
+
+TEST(EnvelopeTest, HalfOpenContains) {
+  const Envelope e(0, 0, 10, 10);
+  EXPECT_TRUE(e.ContainsHalfOpen(Point(0, 0)));
+  EXPECT_FALSE(e.ContainsHalfOpen(Point(10, 5)));
+  EXPECT_FALSE(e.ContainsHalfOpen(Point(5, 10)));
+  EXPECT_TRUE(e.ContainsHalfOpen(Point(10, 5), /*is_right_edge=*/true));
+  EXPECT_TRUE(e.ContainsHalfOpen(Point(5, 10), false, /*is_top_edge=*/true));
+}
+
+TEST(EnvelopeTest, IntersectionGeometry) {
+  const Envelope a(0, 0, 10, 10);
+  const Envelope b(5, 5, 20, 20);
+  EXPECT_EQ(a.Intersection(b), Envelope(5, 5, 10, 10));
+  EXPECT_TRUE(a.Intersection(Envelope(11, 11, 12, 12)).IsEmpty());
+}
+
+TEST(EnvelopeTest, MinMaxDistances) {
+  const Envelope e(0, 0, 10, 10);
+  EXPECT_DOUBLE_EQ(e.MinDistance(Point(5, 5)), 0.0);
+  EXPECT_DOUBLE_EQ(e.MinDistance(Point(13, 14)), 5.0);
+  EXPECT_DOUBLE_EQ(e.MaxDistance(Point(0, 0)),
+                   Distance(Point(0, 0), Point(10, 10)));
+  const Envelope far(20, 0, 30, 10);
+  EXPECT_DOUBLE_EQ(e.MinDistance(far), 10.0);
+  EXPECT_DOUBLE_EQ(e.MaxDistance(far), Distance(Point(0, 0), Point(30, 10)));
+  // Overlapping envelopes: min distance zero.
+  EXPECT_DOUBLE_EQ(e.MinDistance(Envelope(5, 5, 15, 15)), 0.0);
+}
+
+TEST(SegmentTest, IntersectionTests) {
+  EXPECT_TRUE(SegmentsIntersect(Segment({0, 0}, {10, 10}),
+                                Segment({0, 10}, {10, 0})));
+  EXPECT_FALSE(SegmentsIntersect(Segment({0, 0}, {1, 1}),
+                                 Segment({2, 2}, {3, 1})));
+  // Shared endpoint counts as intersecting.
+  EXPECT_TRUE(SegmentsIntersect(Segment({0, 0}, {1, 1}),
+                                Segment({1, 1}, {2, 0})));
+  // Collinear overlap.
+  EXPECT_TRUE(SegmentsIntersect(Segment({0, 0}, {4, 0}),
+                                Segment({2, 0}, {6, 0})));
+
+  auto p = SegmentIntersection(Segment({0, 0}, {10, 10}),
+                               Segment({0, 10}, {10, 0}));
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(*p, Point(5, 5));
+  EXPECT_FALSE(SegmentIntersection(Segment({0, 0}, {1, 0}),
+                                   Segment({0, 1}, {1, 1}))
+                   .has_value());  // Parallel.
+}
+
+TEST(SegmentTest, PointSegmentDistance) {
+  const Segment s({0, 0}, {10, 0});
+  EXPECT_DOUBLE_EQ(PointSegmentDistance(Point(5, 3), s), 3.0);
+  EXPECT_DOUBLE_EQ(PointSegmentDistance(Point(-3, 4), s), 5.0);
+  EXPECT_DOUBLE_EQ(PointSegmentDistance(Point(5, 0), s), 0.0);
+  // Degenerate segment.
+  EXPECT_DOUBLE_EQ(PointSegmentDistance(Point(3, 4), Segment({0, 0}, {0, 0})),
+                   5.0);
+}
+
+TEST(PolygonTest, AreaAndOrientation) {
+  Polygon square({{0, 0}, {4, 0}, {4, 4}, {0, 4}});
+  EXPECT_DOUBLE_EQ(square.SignedArea(), 16.0);
+  EXPECT_DOUBLE_EQ(square.Perimeter(), 16.0);
+  Polygon clockwise({{0, 0}, {0, 4}, {4, 4}, {4, 0}});
+  EXPECT_DOUBLE_EQ(clockwise.SignedArea(), -16.0);
+  clockwise.Normalize();
+  EXPECT_DOUBLE_EQ(clockwise.SignedArea(), 16.0);
+}
+
+TEST(PolygonTest, Containment) {
+  const Polygon tri({{0, 0}, {10, 0}, {5, 10}});
+  EXPECT_TRUE(tri.Contains(Point(5, 2)));
+  EXPECT_TRUE(tri.Contains(Point(0, 0)));     // Vertex.
+  EXPECT_TRUE(tri.Contains(Point(5, 0)));     // Edge.
+  EXPECT_FALSE(tri.Contains(Point(0, 5)));
+  EXPECT_TRUE(tri.ContainsInterior(Point(5, 2)));
+  EXPECT_FALSE(tri.ContainsInterior(Point(0, 0)));
+}
+
+TEST(PolygonTest, IntersectionCases) {
+  const Polygon a({{0, 0}, {4, 0}, {4, 4}, {0, 4}});
+  const Polygon b({{2, 2}, {6, 2}, {6, 6}, {2, 6}});    // Overlaps a.
+  const Polygon c({{10, 10}, {12, 10}, {11, 12}});      // Disjoint.
+  const Polygon d({{1, 1}, {2, 1}, {2, 2}, {1, 2}});    // Inside a.
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.Intersects(c));
+  EXPECT_TRUE(a.Intersects(d));  // Containment counts.
+  EXPECT_TRUE(d.Intersects(a));
+}
+
+TEST(PolygonClipTest, ClipSquareToBox) {
+  const Polygon square({{0, 0}, {10, 0}, {10, 10}, {0, 10}});
+  const Polygon clipped = ClipPolygonToBox(square, Envelope(5, 5, 20, 20));
+  EXPECT_DOUBLE_EQ(clipped.Area(), 25.0);
+  EXPECT_EQ(clipped.Bounds(), Envelope(5, 5, 10, 10));
+}
+
+TEST(PolygonClipTest, DisjointClipIsEmpty) {
+  const Polygon square({{0, 0}, {1, 0}, {1, 1}, {0, 1}});
+  EXPECT_TRUE(ClipPolygonToBox(square, Envelope(5, 5, 6, 6)).IsEmpty());
+}
+
+TEST(PolygonClipTest, ContainedPolygonUnchanged) {
+  const Polygon tri({{1, 1}, {3, 1}, {2, 3}});
+  const Polygon clipped = ClipPolygonToBox(tri, Envelope(0, 0, 10, 10));
+  EXPECT_DOUBLE_EQ(clipped.Area(), tri.Area());
+}
+
+TEST(SegmentClipTest, LiangBarsky) {
+  const Envelope box(0, 0, 10, 10);
+  auto inside = ClipSegmentToBox(Segment({1, 1}, {2, 2}), box);
+  ASSERT_TRUE(inside.has_value());
+  EXPECT_EQ(*inside, Segment({1, 1}, {2, 2}));
+
+  auto crossing = ClipSegmentToBox(Segment({-5, 5}, {15, 5}), box);
+  ASSERT_TRUE(crossing.has_value());
+  EXPECT_EQ(*crossing, Segment({0, 5}, {10, 5}));
+
+  EXPECT_FALSE(ClipSegmentToBox(Segment({-5, -5}, {-1, -1}), box).has_value());
+  // Touching only a corner degenerates to a point: rejected.
+  EXPECT_FALSE(
+      ClipSegmentToBox(Segment({-1, 1}, {1, -1}), box).has_value());
+}
+
+TEST(SimplifyTest, DropsNearCollinearVertices) {
+  // A straight line with tiny wiggles collapses to its endpoints.
+  std::vector<Point> wiggly;
+  for (int i = 0; i <= 100; ++i) {
+    wiggly.emplace_back(i, (i % 2) * 0.001);
+  }
+  const auto simplified = SimplifyPolyline(wiggly, 0.01);
+  ASSERT_EQ(simplified.size(), 2u);
+  EXPECT_EQ(simplified.front(), wiggly.front());
+  EXPECT_EQ(simplified.back(), wiggly.back());
+}
+
+TEST(SimplifyTest, KeepsSignificantVertices) {
+  const std::vector<Point> zigzag = {{0, 0}, {5, 10}, {10, 0}};
+  EXPECT_EQ(SimplifyPolyline(zigzag, 1.0), zigzag);
+  // Zero tolerance is the identity.
+  EXPECT_EQ(SimplifyPolyline(zigzag, 0.0), zigzag);
+}
+
+TEST(SimplifyTest, ErrorIsBoundedByTolerance) {
+  // Every dropped vertex of a dense arc is within tolerance of the
+  // simplified polyline.
+  std::vector<Point> arc;
+  for (int i = 0; i <= 200; ++i) {
+    const double angle = M_PI * i / 200;
+    arc.emplace_back(std::cos(angle) * 100, std::sin(angle) * 100);
+  }
+  const double tolerance = 2.0;
+  const auto simplified = SimplifyPolyline(arc, tolerance);
+  EXPECT_LT(simplified.size(), arc.size() / 2);
+  for (const Point& p : arc) {
+    double best = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i + 1 < simplified.size(); ++i) {
+      best = std::min(best, PointSegmentDistance(
+                                p, Segment(simplified[i], simplified[i + 1])));
+    }
+    EXPECT_LE(best, tolerance + 1e-9);
+  }
+}
+
+TEST(SimplifyTest, PolygonStaysClosedAndRetainsArea) {
+  // A dense circle simplifies to a much smaller ring with similar area.
+  Polygon circle = MakeRegularPolygon(Point(0, 0), 100, 256);
+  const Polygon simplified = SimplifyPolygon(circle, 1.0);
+  EXPECT_LT(simplified.NumVertices(), circle.NumVertices() / 2);
+  EXPECT_GE(simplified.NumVertices(), 3u);
+  EXPECT_NEAR(simplified.Area(), circle.Area(), circle.Area() * 0.05);
+  // Tiny polygons and zero tolerance pass through unchanged.
+  const Polygon tri({{0, 0}, {1, 0}, {0, 1}});
+  EXPECT_EQ(SimplifyPolygon(tri, 10.0), tri);
+  EXPECT_EQ(SimplifyPolygon(circle, 0.0), circle);
+}
+
+TEST(WktTest, PointRoundTrip) {
+  const Point p(1.5, -2.25);
+  EXPECT_EQ(ParsePointWkt(ToWkt(p)).ValueOrDie(), p);
+  EXPECT_EQ(ParsePointWkt("point( 3 4 )").ValueOrDie(), Point(3, 4));
+  EXPECT_FALSE(ParsePointWkt("POINT 1 2").ok());
+  EXPECT_FALSE(ParsePointWkt("POINT (1)").ok());
+}
+
+TEST(WktTest, PolygonRoundTrip) {
+  const Polygon tri({{0, 0}, {4, 0}, {2, 3}});
+  const Polygon parsed = ParsePolygonWkt(ToWkt(tri)).ValueOrDie();
+  EXPECT_EQ(parsed, tri);
+  EXPECT_FALSE(ParsePolygonWkt("POLYGON ((0 0, 1 1))").ok());
+  EXPECT_FALSE(
+      ParsePolygonWkt("POLYGON ((0 0,4 0,4 4,0 4),(1 1,2 1,2 2))").ok())
+      << "holes are rejected";
+}
+
+TEST(WktTest, LineStringRoundTrip) {
+  const std::vector<Point> pts = {{0, 0}, {1, 2}, {3, 4}};
+  EXPECT_EQ(ParseLineStringWkt(LineStringToWkt(pts)).ValueOrDie(), pts);
+  EXPECT_FALSE(ParseLineStringWkt("LINESTRING (1 2)").ok());
+}
+
+TEST(WktTest, CsvCodecs) {
+  const Point p(123.456, -7.0);
+  EXPECT_EQ(ParsePointCsv(PointToCsv(p)).ValueOrDie(), p);
+  const Envelope e(1, 2, 3, 4);
+  EXPECT_EQ(ParseEnvelopeCsv(EnvelopeToCsv(e)).ValueOrDie(), e);
+  EXPECT_FALSE(ParsePointCsv("1").ok());
+  EXPECT_FALSE(ParseEnvelopeCsv("1,2,3").ok());
+  EXPECT_FALSE(ParseEnvelopeCsv("3,2,1,4").ok()) << "inverted bounds";
+}
+
+}  // namespace
+}  // namespace shadoop

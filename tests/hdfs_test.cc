@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "hdfs/file_system.h"
+
+namespace shadoop::hdfs {
+namespace {
+
+HdfsConfig SmallBlocks() {
+  HdfsConfig config;
+  config.block_size = 64;  // Tiny blocks force multi-block files.
+  config.num_datanodes = 5;
+  config.replication = 3;
+  return config;
+}
+
+TEST(FileSystemTest, WriteReadRoundTrip) {
+  FileSystem fs(SmallBlocks());
+  const std::vector<std::string> lines = {"alpha", "beta", "gamma"};
+  ASSERT_TRUE(fs.WriteLines("/f", lines).ok());
+  EXPECT_TRUE(fs.Exists("/f"));
+  EXPECT_EQ(fs.ReadLines("/f").ValueOrDie(), lines);
+}
+
+TEST(FileSystemTest, FilesSplitIntoBlocksAtRecordBoundaries) {
+  FileSystem fs(SmallBlocks());
+  std::vector<std::string> lines;
+  for (int i = 0; i < 100; ++i) lines.push_back("record-" + std::to_string(i));
+  ASSERT_TRUE(fs.WriteLines("/f", lines).ok());
+  const FileMeta meta = fs.GetFileMeta("/f").ValueOrDie();
+  EXPECT_GT(meta.blocks.size(), 5u);
+  EXPECT_EQ(meta.total_records, 100u);
+  // Reassembling blocks yields the original records, in order.
+  std::vector<std::string> reassembled;
+  for (size_t b = 0; b < meta.blocks.size(); ++b) {
+    for (std::string& r : fs.ReadBlock("/f", b).ValueOrDie()) {
+      reassembled.push_back(std::move(r));
+    }
+  }
+  EXPECT_EQ(reassembled, lines);
+}
+
+TEST(FileSystemTest, ForcedBlockBoundaries) {
+  FileSystem fs(SmallBlocks());
+  auto writer = fs.Create("/f").ValueOrDie();
+  writer->set_auto_seal(false);
+  for (int part = 0; part < 3; ++part) {
+    for (int i = 0; i < 50; ++i) {
+      writer->Append("p" + std::to_string(part));
+    }
+    writer->EndBlock();
+  }
+  ASSERT_TRUE(writer->Close().ok());
+  const FileMeta meta = fs.GetFileMeta("/f").ValueOrDie();
+  ASSERT_EQ(meta.blocks.size(), 3u);  // Exactly one block per EndBlock.
+  for (size_t b = 0; b < 3; ++b) {
+    EXPECT_EQ(meta.blocks[b].num_records, 50u);
+  }
+}
+
+TEST(FileSystemTest, CreateFailsOnExisting) {
+  FileSystem fs(SmallBlocks());
+  ASSERT_TRUE(fs.WriteLines("/f", {"x"}).ok());
+  EXPECT_TRUE(fs.Create("/f").status().IsAlreadyExists());
+  EXPECT_TRUE(fs.WriteLines("/f", {"y"}).IsAlreadyExists());
+}
+
+TEST(FileSystemTest, DeleteAndRename) {
+  FileSystem fs(SmallBlocks());
+  ASSERT_TRUE(fs.WriteLines("/a", {"1"}).ok());
+  ASSERT_TRUE(fs.Rename("/a", "/b").ok());
+  EXPECT_FALSE(fs.Exists("/a"));
+  EXPECT_TRUE(fs.Exists("/b"));
+  EXPECT_TRUE(fs.Rename("/missing", "/c").IsNotFound());
+  ASSERT_TRUE(fs.WriteLines("/c", {"2"}).ok());
+  EXPECT_TRUE(fs.Rename("/b", "/c").IsAlreadyExists());
+  ASSERT_TRUE(fs.Delete("/b").ok());
+  EXPECT_FALSE(fs.Exists("/b"));
+  EXPECT_TRUE(fs.Delete("/b").IsNotFound());
+}
+
+TEST(FileSystemTest, ListFilesByPrefix) {
+  FileSystem fs(SmallBlocks());
+  ASSERT_TRUE(fs.WriteLines("/data/a", {"1"}).ok());
+  ASSERT_TRUE(fs.WriteLines("/data/b", {"1"}).ok());
+  ASSERT_TRUE(fs.WriteLines("/other", {"1"}).ok());
+  EXPECT_EQ(fs.ListFiles("/data/"),
+            (std::vector<std::string>{"/data/a", "/data/b"}));
+  EXPECT_EQ(fs.ListFiles("/nope").size(), 0u);
+}
+
+TEST(FileSystemTest, ReplicationSurvivesNodeFailures) {
+  FileSystem fs(SmallBlocks());
+  std::vector<std::string> lines(50, "payload");
+  ASSERT_TRUE(fs.WriteLines("/f", lines).ok());
+  // Kill replication-1 nodes: every block still has a live replica.
+  fs.SetNodeAlive(0, false);
+  fs.SetNodeAlive(1, false);
+  EXPECT_EQ(fs.CountAliveNodes(), 3);
+  EXPECT_EQ(fs.ReadLines("/f").ValueOrDie(), lines);
+  // Kill a third node: with 5 nodes and r=3 some block loses all copies.
+  fs.SetNodeAlive(2, false);
+  const auto result = fs.ReadLines("/f");
+  EXPECT_TRUE(result.status().IsIoError());
+  // Recovery: bring a node back.
+  fs.SetNodeAlive(0, true);
+  EXPECT_EQ(fs.ReadLines("/f").ValueOrDie(), lines);
+}
+
+TEST(FileSystemTest, IoStatsAccounting) {
+  FileSystem fs(SmallBlocks());
+  std::vector<std::string> lines(20, "0123456789");
+  ASSERT_TRUE(fs.WriteLines("/f", lines).ok());
+  const uint64_t written = fs.io_stats().bytes_written.load();
+  EXPECT_EQ(written, 20u * 11);
+  fs.io_stats().Reset();
+  ASSERT_TRUE(fs.ReadLines("/f").ok());
+  EXPECT_EQ(fs.io_stats().bytes_read.load(), written);
+}
+
+TEST(FileSystemTest, ReadErrors) {
+  FileSystem fs(SmallBlocks());
+  EXPECT_TRUE(fs.ReadLines("/missing").status().IsNotFound());
+  ASSERT_TRUE(fs.WriteLines("/f", {"x"}).ok());
+  EXPECT_TRUE(fs.ReadBlock("/f", 99).status().IsInvalidArgument());
+}
+
+TEST(SplitBlockTest, HandlesTrailingNewlineAndEmptyPayload) {
+  EXPECT_TRUE(SplitBlockIntoRecords("").empty());
+  EXPECT_EQ(SplitBlockIntoRecords("a\nb\n"),
+            (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(SplitBlockIntoRecords("a\nb"),
+            (std::vector<std::string>{"a", "b"}));
+}
+
+}  // namespace
+}  // namespace shadoop::hdfs

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+
+#include "core/aggregate_op.h"
+#include "core/knn.h"
+#include "core/range_query.h"
+#include "core/skyline_op.h"
+#include "core/spatial_join.h"
+#include "geometry/wkt.h"
+#include "pigeon/executor.h"
+#include "test_util.h"
+
+namespace shadoop {
+namespace {
+
+using core::OpStats;
+using index::PartitionScheme;
+
+/// End-to-end pipeline: generate -> index with several techniques -> run
+/// every read operation -> all systems agree with each other and with
+/// brute force.
+TEST(IntegrationTest, AllSystemsAgreeOnAllQueries) {
+  testing::TestCluster cluster;
+  const std::vector<Point> points = testing::WritePoints(
+      &cluster.fs, "/pts", 4000, workload::Distribution::kClustered, 3);
+
+  std::vector<index::SpatialFileInfo> files;
+  for (PartitionScheme scheme :
+       {PartitionScheme::kGrid, PartitionScheme::kStr,
+        PartitionScheme::kQuadTree, PartitionScheme::kHilbert}) {
+    std::string dest = std::string("/pts.") +
+                       index::PartitionSchemeName(scheme);
+    files.push_back(
+        testing::BuildIndex(&cluster.runner, "/pts", dest, scheme));
+  }
+
+  const Envelope query(1.5e5, 2.5e5, 6e5, 7e5);
+  auto hadoop_range = core::RangeQueryHadoop(&cluster.runner, "/pts",
+                                             index::ShapeType::kPoint, query)
+                          .ValueOrDie();
+  const std::multiset<std::string> reference(hadoop_range.begin(),
+                                             hadoop_range.end());
+  for (const auto& file : files) {
+    auto spatial = core::RangeQuerySpatial(&cluster.runner, file, query)
+                       .ValueOrDie();
+    EXPECT_EQ(std::multiset<std::string>(spatial.begin(), spatial.end()),
+              reference)
+        << index::PartitionSchemeName(file.global_index.scheme());
+
+    auto count =
+        core::RangeCountSpatial(&cluster.runner, file, query).ValueOrDie();
+    EXPECT_EQ(count, static_cast<int64_t>(reference.size()));
+
+    auto knn = core::KnnSpatial(&cluster.runner, file, Point(4e5, 4e5), 7)
+                   .ValueOrDie();
+    ASSERT_EQ(knn.size(), 7u);
+  }
+
+  // kNN distances agree across all index types and the Hadoop baseline.
+  auto hadoop_knn = core::KnnHadoop(&cluster.runner, "/pts",
+                                    index::ShapeType::kPoint, Point(4e5, 4e5),
+                                    7)
+                        .ValueOrDie();
+  for (const auto& file : files) {
+    auto knn = core::KnnSpatial(&cluster.runner, file, Point(4e5, 4e5), 7)
+                   .ValueOrDie();
+    for (size_t i = 0; i < 7; ++i) {
+      EXPECT_NEAR(knn[i].distance, hadoop_knn[i].distance, 1e-9);
+    }
+  }
+}
+
+/// The Pigeon pipeline must agree with the direct API pipeline.
+TEST(IntegrationTest, PigeonAndApiPipelinesAgree) {
+  testing::TestCluster cluster;
+  testing::WritePoints(&cluster.fs, "/pts", 1500,
+                       workload::Distribution::kAntiCorrelated, 8);
+
+  // API side.
+  const index::SpatialFileInfo file = testing::BuildIndex(
+      &cluster.runner, "/pts", "/api.idx", PartitionScheme::kStr);
+  auto api_skyline =
+      core::SkylineSpatial(&cluster.runner, file).ValueOrDie();
+
+  // Pigeon side.
+  pigeon::Executor executor(&cluster.runner);
+  const auto report = executor
+                          .Execute(
+                              "p = LOAD '/pts' AS POINT;"
+                              "i = INDEX p WITH STR INTO '/pigeon.idx';"
+                              "s = SKYLINE i;"
+                              "DUMP s;")
+                          .ValueOrDie();
+  std::multiset<std::string> pigeon_result(report.dump_output.begin(),
+                                           report.dump_output.end());
+  std::multiset<std::string> api_result;
+  for (const Point& p : api_skyline) api_result.insert(PointToCsv(p));
+  EXPECT_EQ(pigeon_result, api_result);
+}
+
+/// Several queries running concurrently against the same file system must
+/// not interfere (the simulated namenode and datanodes are shared).
+TEST(IntegrationTest, ConcurrentQueriesAreIsolated) {
+  testing::TestCluster cluster;
+  const std::vector<Point> points =
+      testing::WritePoints(&cluster.fs, "/pts", 3000);
+  const index::SpatialFileInfo file = testing::BuildIndex(
+      &cluster.runner, "/pts", "/pts.idx", PartitionScheme::kStr);
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 6; ++t) {
+    threads.emplace_back([&, t]() {
+      const double lo = t * 1e5;
+      const Envelope query(lo, lo, lo + 3e5, lo + 3e5);
+      auto result = core::RangeQuerySpatial(&cluster.runner, file, query);
+      if (!result.ok()) {
+        ++failures;
+        return;
+      }
+      size_t expected = 0;
+      for (const Point& p : points) expected += query.Contains(p);
+      if (result->size() != expected) ++failures;
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+/// Join symmetry: |A x B| == |B x A| and both DJ orders agree with SJMR.
+TEST(IntegrationTest, JoinIsSymmetric) {
+  testing::TestCluster cluster;
+  workload::RectGenOptions options;
+  options.centers.count = 400;
+  options.centers.seed = 17;
+  options.max_side_fraction = 0.04;
+  ASSERT_TRUE(cluster.fs
+                  .WriteLines("/a", workload::RectanglesToRecords(
+                                        workload::GenerateRectangles(options)))
+                  .ok());
+  options.centers.seed = 18;
+  ASSERT_TRUE(cluster.fs
+                  .WriteLines("/b", workload::RectanglesToRecords(
+                                        workload::GenerateRectangles(options)))
+                  .ok());
+  const auto a = testing::BuildIndex(&cluster.runner, "/a", "/a.idx",
+                                     PartitionScheme::kStr,
+                                     index::ShapeType::kRectangle);
+  const auto b = testing::BuildIndex(&cluster.runner, "/b", "/b.idx",
+                                     PartitionScheme::kQuadTree,
+                                     index::ShapeType::kRectangle);
+  auto ab = core::DistributedJoin(&cluster.runner, a, b).ValueOrDie();
+  auto ba = core::DistributedJoin(&cluster.runner, b, a).ValueOrDie();
+  EXPECT_EQ(ab.size(), ba.size());
+
+  std::multiset<std::pair<std::string, std::string>> ab_pairs;
+  for (const std::string& line : ab) {
+    ab_pairs.insert(core::SplitJoinOutput(line).ValueOrDie());
+  }
+  std::multiset<std::pair<std::string, std::string>> ba_flipped;
+  for (const std::string& line : ba) {
+    auto pair = core::SplitJoinOutput(line).ValueOrDie();
+    ba_flipped.insert({pair.second, pair.first});
+  }
+  EXPECT_EQ(ab_pairs, ba_flipped);
+}
+
+}  // namespace
+}  // namespace shadoop

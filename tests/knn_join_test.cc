@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "core/knn_join.h"
+#include "geometry/wkt.h"
+#include "test_util.h"
+
+namespace shadoop::core {
+namespace {
+
+using index::PartitionScheme;
+
+/// Brute-force reference: sorted distances of the k nearest B points per
+/// A point.
+std::map<std::string, std::vector<double>> BruteForceKnnJoin(
+    const std::vector<Point>& a, const std::vector<Point>& b, size_t k) {
+  std::map<std::string, std::vector<double>> expected;
+  for (const Point& pa : a) {
+    std::vector<double> dists;
+    dists.reserve(b.size());
+    for (const Point& pb : b) dists.push_back(Distance(pa, pb));
+    std::sort(dists.begin(), dists.end());
+    dists.resize(std::min(k, dists.size()));
+    expected[PointToCsv(pa)] = std::move(dists);
+  }
+  return expected;
+}
+
+std::map<std::string, std::vector<double>> GroupAnswers(
+    const std::vector<KnnJoinAnswer>& answers) {
+  std::map<std::string, std::vector<std::pair<int, double>>> ranked;
+  for (const KnnJoinAnswer& answer : answers) {
+    ranked[answer.left].emplace_back(answer.rank, answer.distance);
+  }
+  std::map<std::string, std::vector<double>> grouped;
+  for (auto& [left, pairs] : ranked) {
+    std::sort(pairs.begin(), pairs.end());
+    std::vector<double> dists;
+    for (const auto& [rank, dist] : pairs) dists.push_back(dist);
+    grouped[left] = std::move(dists);
+  }
+  return grouped;
+}
+
+struct KnnJoinCase {
+  PartitionScheme scheme_a;
+  PartitionScheme scheme_b;
+  size_t k;
+};
+
+class KnnJoinSchemeTest : public ::testing::TestWithParam<KnnJoinCase> {};
+
+TEST_P(KnnJoinSchemeTest, MatchesBruteForce) {
+  testing::TestCluster cluster;
+  const std::vector<Point> a = testing::WritePoints(
+      &cluster.fs, "/a", 400, workload::Distribution::kClustered, 1);
+  const std::vector<Point> b = testing::WritePoints(
+      &cluster.fs, "/b", 600, workload::Distribution::kClustered, 2);
+  const auto file_a = testing::BuildIndex(&cluster.runner, "/a", "/a.idx",
+                                          GetParam().scheme_a);
+  const auto file_b = testing::BuildIndex(&cluster.runner, "/b", "/b.idx",
+                                          GetParam().scheme_b);
+  const auto answers =
+      KnnJoinSpatial(&cluster.runner, file_a, file_b, GetParam().k)
+          .ValueOrDie();
+  const auto grouped = GroupAnswers(answers);
+  const auto expected = BruteForceKnnJoin(a, b, GetParam().k);
+  ASSERT_EQ(grouped.size(), expected.size());
+  for (const auto& [left, dists] : expected) {
+    auto it = grouped.find(left);
+    ASSERT_NE(it, grouped.end()) << left;
+    ASSERT_EQ(it->second.size(), dists.size()) << left;
+    for (size_t i = 0; i < dists.size(); ++i) {
+      EXPECT_NEAR(it->second[i], dists[i], 1e-9) << left << " rank " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SchemeMatrix, KnnJoinSchemeTest,
+    ::testing::Values(
+        KnnJoinCase{PartitionScheme::kStr, PartitionScheme::kStr, 3},
+        KnnJoinCase{PartitionScheme::kGrid, PartitionScheme::kQuadTree, 5},
+        KnnJoinCase{PartitionScheme::kHilbert, PartitionScheme::kKdTree, 1},
+        KnnJoinCase{PartitionScheme::kStr, PartitionScheme::kGrid, 16}),
+    [](const ::testing::TestParamInfo<KnnJoinCase>& info) {
+      std::string name = index::PartitionSchemeName(info.param.scheme_a);
+      name += "_";
+      name += index::PartitionSchemeName(info.param.scheme_b);
+      name += "_k" + std::to_string(info.param.k);
+      for (char& c : name) {
+        if (!isalnum(static_cast<unsigned char>(c))) c = 'x';
+      }
+      return name;
+    });
+
+TEST(KnnJoinTest, KLargerThanBReturnsAllOfB) {
+  testing::TestCluster cluster;
+  const std::vector<Point> a =
+      testing::WritePoints(&cluster.fs, "/a", 50, workload::Distribution::kUniform, 3);
+  testing::WritePoints(&cluster.fs, "/b", 7, workload::Distribution::kUniform,
+                       4);
+  const auto file_a = testing::BuildIndex(&cluster.runner, "/a", "/a.idx",
+                                          PartitionScheme::kGrid);
+  const auto file_b = testing::BuildIndex(&cluster.runner, "/b", "/b.idx",
+                                          PartitionScheme::kGrid);
+  const auto answers =
+      KnnJoinSpatial(&cluster.runner, file_a, file_b, 100).ValueOrDie();
+  EXPECT_EQ(answers.size(), a.size() * 7);
+}
+
+TEST(KnnJoinTest, DegenerateCases) {
+  testing::TestCluster cluster;
+  testing::WritePoints(&cluster.fs, "/a", 100);
+  testing::WritePoints(&cluster.fs, "/b", 100, workload::Distribution::kUniform, 9);
+  const auto file_a = testing::BuildIndex(&cluster.runner, "/a", "/a.idx",
+                                          PartitionScheme::kStr);
+  const auto file_b = testing::BuildIndex(&cluster.runner, "/b", "/b.idx",
+                                          PartitionScheme::kStr);
+  EXPECT_TRUE(
+      KnnJoinSpatial(&cluster.runner, file_a, file_b, 0).ValueOrDie().empty());
+
+  // Non-point inputs are rejected.
+  workload::RectGenOptions rects;
+  rects.centers.count = 50;
+  ASSERT_TRUE(cluster.fs
+                  .WriteLines("/r", workload::RectanglesToRecords(
+                                        workload::GenerateRectangles(rects)))
+                  .ok());
+  const auto file_r =
+      testing::BuildIndex(&cluster.runner, "/r", "/r.idx",
+                          PartitionScheme::kStr, index::ShapeType::kRectangle);
+  EXPECT_TRUE(KnnJoinSpatial(&cluster.runner, file_a, file_r, 3)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(KnnJoinTest, BoundRoundLimitsVerifyFanIn) {
+  testing::TestCluster cluster;
+  testing::WritePoints(&cluster.fs, "/a", 2000,
+                       workload::Distribution::kClustered, 21);
+  testing::WritePoints(&cluster.fs, "/b", 3000,
+                       workload::Distribution::kClustered, 21);  // Same seed:
+  // B clusters coincide with A clusters, so bounds are tight.
+  const auto file_a = testing::BuildIndex(&cluster.runner, "/a", "/a.idx",
+                                          PartitionScheme::kStr);
+  const auto file_b = testing::BuildIndex(&cluster.runner, "/b", "/b.idx",
+                                          PartitionScheme::kStr);
+  OpStats stats;
+  const auto answers =
+      KnnJoinSpatial(&cluster.runner, file_a, file_b, 4, &stats).ValueOrDie();
+  EXPECT_EQ(answers.size(), 2000u * 4);
+  EXPECT_EQ(stats.jobs_run, 2);
+  // The verify round must not degenerate to the full cross product of
+  // partitions.
+  const size_t na = file_a.global_index.NumPartitions();
+  const size_t nb = file_b.global_index.NumPartitions();
+  EXPECT_LT(static_cast<size_t>(stats.cost.bytes_read),
+            (na * nb / 2) * cluster.fs.config().block_size)
+      << "bound round should keep the fan-in well below all-pairs";
+}
+
+}  // namespace
+}  // namespace shadoop::core

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/knn.h"
+#include "geometry/wkt.h"
+#include "test_util.h"
+
+namespace shadoop::core {
+namespace {
+
+using index::PartitionScheme;
+
+std::vector<double> BruteForceKnnDistances(const std::vector<Point>& points,
+                                           const Point& q, size_t k) {
+  std::vector<double> dists;
+  dists.reserve(points.size());
+  for (const Point& p : points) dists.push_back(Distance(p, q));
+  std::sort(dists.begin(), dists.end());
+  dists.resize(std::min(k, dists.size()));
+  return dists;
+}
+
+void ExpectSameDistances(const std::vector<KnnAnswer>& got,
+                         const std::vector<double>& expected) {
+  ASSERT_EQ(got.size(), expected.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(got[i].distance, expected[i], 1e-9) << "rank " << i;
+  }
+}
+
+class KnnSchemeTest : public ::testing::TestWithParam<PartitionScheme> {};
+
+TEST_P(KnnSchemeTest, MatchesBruteForceForVariousKAndQueries) {
+  testing::TestCluster cluster;
+  const std::vector<Point> points = testing::WritePoints(
+      &cluster.fs, "/pts", 2000, workload::Distribution::kClustered, 31);
+  const index::SpatialFileInfo file =
+      testing::BuildIndex(&cluster.runner, "/pts", "/pts.idx", GetParam());
+
+  Random rng(11);
+  for (size_t k : {1u, 5u, 50u}) {
+    const Point q(rng.NextDouble(0, 1e6), rng.NextDouble(0, 1e6));
+    auto spatial = KnnSpatial(&cluster.runner, file, q, k).ValueOrDie();
+    ExpectSameDistances(spatial, BruteForceKnnDistances(points, q, k));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, KnnSchemeTest, ::testing::ValuesIn(testing::AllSchemes()),
+    [](const ::testing::TestParamInfo<PartitionScheme>& info) {
+      std::string name = index::PartitionSchemeName(info.param);
+      for (char& c : name) {
+        if (!isalnum(static_cast<unsigned char>(c))) c = 'x';
+      }
+      return name;
+    });
+
+TEST(KnnTest, HadoopMatchesBruteForce) {
+  testing::TestCluster cluster;
+  const std::vector<Point> points =
+      testing::WritePoints(&cluster.fs, "/pts", 1500);
+  const Point q(5e5, 5e5);
+  auto result =
+      KnnHadoop(&cluster.runner, "/pts", index::ShapeType::kPoint, q, 10)
+          .ValueOrDie();
+  ExpectSameDistances(result, BruteForceKnnDistances(points, q, 10));
+}
+
+TEST(KnnTest, QueryOutsideSpaceStillCorrect) {
+  testing::TestCluster cluster;
+  const std::vector<Point> points =
+      testing::WritePoints(&cluster.fs, "/pts", 1000);
+  const index::SpatialFileInfo file = testing::BuildIndex(
+      &cluster.runner, "/pts", "/pts.idx", PartitionScheme::kStr);
+  const Point q(-5e5, 2e6);  // Far outside the data MBR.
+  auto result = KnnSpatial(&cluster.runner, file, q, 7).ValueOrDie();
+  ExpectSameDistances(result, BruteForceKnnDistances(points, q, 7));
+}
+
+TEST(KnnTest, KLargerThanDatasetReturnsEverything) {
+  testing::TestCluster cluster;
+  const std::vector<Point> points =
+      testing::WritePoints(&cluster.fs, "/pts", 40);
+  const index::SpatialFileInfo file = testing::BuildIndex(
+      &cluster.runner, "/pts", "/pts.idx", PartitionScheme::kGrid);
+  auto result =
+      KnnSpatial(&cluster.runner, file, Point(0, 0), 100).ValueOrDie();
+  EXPECT_EQ(result.size(), points.size());
+}
+
+TEST(KnnTest, SpatialReadsFewerBytesThanHadoop) {
+  testing::TestCluster cluster;
+  testing::WritePoints(&cluster.fs, "/pts", 8000);
+  const index::SpatialFileInfo file = testing::BuildIndex(
+      &cluster.runner, "/pts", "/pts.idx", PartitionScheme::kStr);
+  const Point q(5e5, 5e5);
+  OpStats hadoop_stats;
+  OpStats spatial_stats;
+  auto h = KnnHadoop(&cluster.runner, "/pts", index::ShapeType::kPoint, q, 5,
+                     &hadoop_stats)
+               .ValueOrDie();
+  auto s = KnnSpatial(&cluster.runner, file, q, 5, &spatial_stats)
+               .ValueOrDie();
+  ASSERT_EQ(h.size(), s.size());
+  for (size_t i = 0; i < h.size(); ++i) {
+    EXPECT_NEAR(h[i].distance, s[i].distance, 1e-9);
+  }
+  EXPECT_LT(spatial_stats.cost.bytes_read, hadoop_stats.cost.bytes_read / 3);
+}
+
+TEST(KnnTest, CorrectnessLoopTriggersNearPartitionBoundary) {
+  testing::TestCluster cluster;
+  testing::WritePoints(&cluster.fs, "/pts", 4000);
+  const index::SpatialFileInfo file = testing::BuildIndex(
+      &cluster.runner, "/pts", "/pts.idx", PartitionScheme::kGrid);
+  ASSERT_GT(file.global_index.NumPartitions(), 4u);
+  // Query on a partition boundary: neighbours must be consulted.
+  const index::Partition& part = file.global_index.partitions()[0];
+  const Point q(part.cell.max_x(), part.cell.max_y());
+  OpStats stats;
+  auto result = KnnSpatial(&cluster.runner, file, q, 20, &stats).ValueOrDie();
+  ASSERT_EQ(result.size(), 20u);
+  EXPECT_GE(stats.jobs_run, 2) << "boundary query should need a second round";
+}
+
+}  // namespace
+}  // namespace shadoop::core

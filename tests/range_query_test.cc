@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/range_query.h"
+#include "geometry/wkt.h"
+#include "test_util.h"
+
+namespace shadoop::core {
+namespace {
+
+using index::PartitionScheme;
+using workload::Distribution;
+
+std::multiset<std::string> BruteForceRange(const std::vector<Point>& points,
+                                           const Envelope& query) {
+  std::multiset<std::string> expected;
+  for (const Point& p : points) {
+    if (query.Contains(p)) expected.insert(PointToCsv(p));
+  }
+  return expected;
+}
+
+struct RangeCase {
+  PartitionScheme scheme;
+  Distribution distribution;
+};
+
+class RangeQuerySchemeTest : public ::testing::TestWithParam<RangeCase> {};
+
+TEST_P(RangeQuerySchemeTest, MatchesBruteForceAcrossSelectivities) {
+  testing::TestCluster cluster;
+  const std::vector<Point> points = testing::WritePoints(
+      &cluster.fs, "/pts", 2500, GetParam().distribution, 17);
+  const index::SpatialFileInfo file = testing::BuildIndex(
+      &cluster.runner, "/pts", "/pts.idx", GetParam().scheme);
+
+  Envelope space;
+  for (const Point& p : points) space.ExpandToInclude(p);
+
+  Random rng(3);
+  for (double frac : {0.01, 0.1, 0.4, 1.0}) {
+    const double w = space.Width() * frac;
+    const double h = space.Height() * frac;
+    const double x = space.min_x() + rng.NextDouble() * (space.Width() - w);
+    const double y = space.min_y() + rng.NextDouble() * (space.Height() - h);
+    const Envelope query(x, y, x + w, y + h);
+
+    const auto expected = BruteForceRange(points, query);
+    auto spatial =
+        RangeQuerySpatial(&cluster.runner, file, query).ValueOrDie();
+    EXPECT_EQ(std::multiset<std::string>(spatial.begin(), spatial.end()),
+              expected)
+        << "selectivity " << frac;
+  }
+}
+
+std::vector<RangeCase> AllRangeCases() {
+  std::vector<RangeCase> cases;
+  for (PartitionScheme scheme : testing::AllSchemes()) {
+    for (Distribution dist :
+         {Distribution::kUniform, Distribution::kClustered}) {
+      cases.push_back({scheme, dist});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, RangeQuerySchemeTest, ::testing::ValuesIn(AllRangeCases()),
+    [](const ::testing::TestParamInfo<RangeCase>& info) {
+      std::string name = index::PartitionSchemeName(info.param.scheme);
+      name += "_";
+      name += workload::DistributionName(info.param.distribution);
+      for (char& c : name) {
+        if (!isalnum(static_cast<unsigned char>(c))) c = 'x';
+      }
+      return name;
+    });
+
+TEST(RangeQueryTest, HadoopMatchesBruteForce) {
+  testing::TestCluster cluster;
+  const std::vector<Point> points =
+      testing::WritePoints(&cluster.fs, "/pts", 1200);
+  const Envelope query(2e5, 2e5, 6e5, 5e5);
+  auto result = RangeQueryHadoop(&cluster.runner, "/pts",
+                                 index::ShapeType::kPoint, query)
+                    .ValueOrDie();
+  EXPECT_EQ(std::multiset<std::string>(result.begin(), result.end()),
+            BruteForceRange(points, query));
+}
+
+TEST(RangeQueryTest, SpatialReadsFewerBytesOnSelectiveQueries) {
+  testing::TestCluster cluster;
+  testing::WritePoints(&cluster.fs, "/pts", 5000);
+  const index::SpatialFileInfo file = testing::BuildIndex(
+      &cluster.runner, "/pts", "/pts.idx", PartitionScheme::kStr);
+
+  const Envelope query(1e5, 1e5, 1.5e5, 1.5e5);  // ~0.25% of the space.
+  OpStats hadoop_stats;
+  OpStats spatial_stats;
+  auto hadoop = RangeQueryHadoop(&cluster.runner, "/pts",
+                                 index::ShapeType::kPoint, query,
+                                 &hadoop_stats)
+                    .ValueOrDie();
+  auto spatial =
+      RangeQuerySpatial(&cluster.runner, file, query, &spatial_stats)
+          .ValueOrDie();
+  std::multiset<std::string> a(hadoop.begin(), hadoop.end());
+  std::multiset<std::string> b(spatial.begin(), spatial.end());
+  EXPECT_EQ(a, b);
+  EXPECT_LT(spatial_stats.cost.bytes_read, hadoop_stats.cost.bytes_read / 4)
+      << "pruning should skip most partitions";
+  EXPECT_LT(spatial_stats.cost.num_map_tasks, hadoop_stats.cost.num_map_tasks);
+}
+
+TEST(RangeQueryTest, RectangleFileWithReplicationDeduplicates) {
+  testing::TestCluster cluster;
+  workload::RectGenOptions options;
+  options.centers.count = 1000;
+  options.centers.seed = 23;
+  options.max_side_fraction = 0.06;
+  const std::vector<Envelope> rects = workload::GenerateRectangles(options);
+  ASSERT_TRUE(cluster.fs
+                  .WriteLines("/rects", workload::RectanglesToRecords(rects))
+                  .ok());
+  const index::SpatialFileInfo file = testing::BuildIndex(
+      &cluster.runner, "/rects", "/rects.idx", PartitionScheme::kQuadTree,
+      index::ShapeType::kRectangle);
+
+  const Envelope query(3e5, 3e5, 7e5, 7e5);
+  std::multiset<std::string> expected;
+  for (const Envelope& r : rects) {
+    if (r.Intersects(query)) expected.insert(EnvelopeToCsv(r));
+  }
+  auto result = RangeQuerySpatial(&cluster.runner, file, query).ValueOrDie();
+  EXPECT_EQ(std::multiset<std::string>(result.begin(), result.end()),
+            expected)
+      << "replicated rectangles must be reported exactly once";
+}
+
+TEST(RangeQueryTest, EmptyQueryRegionReturnsNothing) {
+  testing::TestCluster cluster;
+  testing::WritePoints(&cluster.fs, "/pts", 500);
+  const index::SpatialFileInfo file = testing::BuildIndex(
+      &cluster.runner, "/pts", "/pts.idx", PartitionScheme::kGrid);
+  // A region far outside the data space.
+  const Envelope query(2e6, 2e6, 3e6, 3e6);
+  OpStats stats;
+  auto result =
+      RangeQuerySpatial(&cluster.runner, file, query, &stats).ValueOrDie();
+  EXPECT_TRUE(result.empty());
+  EXPECT_EQ(stats.cost.num_map_tasks, 0);
+  EXPECT_EQ(stats.cost.bytes_read, 0u);
+}
+
+}  // namespace
+}  // namespace shadoop::core

@@ -1,0 +1,198 @@
+// Robustness tests: malformed inputs at every persistence boundary
+// (records, master files, scripts) must produce clean Status errors or
+// counted-and-skipped records — never crashes or silent corruption.
+
+#include <gtest/gtest.h>
+
+#include "core/range_query.h"
+#include "geometry/wkt.h"
+#include "index/global_index.h"
+#include "index/index_builder.h"
+#include "pigeon/executor.h"
+#include "pigeon/lexer.h"
+#include "pigeon/parser.h"
+#include "test_util.h"
+
+namespace shadoop {
+namespace {
+
+using index::PartitionScheme;
+
+// ---------------------------------------------------------------------
+// Malformed records in data files.
+
+TEST(MalformedRecordTest, IndexBuildSkipsAndCountsBadRecords) {
+  testing::TestCluster cluster;
+  std::vector<std::string> records = {"1,2",       "oops",       "3,4",
+                                      "5,not-a-y", "7,8\tattrs", ",",
+                                      "9,10"};
+  ASSERT_TRUE(cluster.fs.WriteLines("/mixed", records).ok());
+  index::IndexBuilder builder(&cluster.runner);
+  index::IndexBuildOptions options;
+  options.scheme = PartitionScheme::kStr;
+  const auto file = builder.Build("/mixed", "/mixed.idx", options)
+                        .ValueOrDie();
+  size_t stored = 0;
+  for (const auto& p : file.global_index.partitions()) {
+    stored += p.num_records;
+  }
+  EXPECT_EQ(stored, 4u) << "only the four parseable records are indexed";
+}
+
+TEST(MalformedRecordTest, QueriesCountBadRecordsInsteadOfFailing) {
+  testing::TestCluster cluster;
+  ASSERT_TRUE(cluster.fs
+                  .WriteLines("/mixed", {"1,1", "garbage", "2,2", "x,y"})
+                  .ok());
+  core::OpStats stats;
+  auto result = core::RangeQueryHadoop(&cluster.runner, "/mixed",
+                                       index::ShapeType::kPoint,
+                                       Envelope(0, 0, 10, 10), &stats)
+                    .ValueOrDie();
+  EXPECT_EQ(result.size(), 2u);
+  EXPECT_EQ(stats.counters.Get("range.bad_records"), 2);
+}
+
+TEST(MalformedRecordTest, EmptyFileCannotBeIndexed) {
+  testing::TestCluster cluster;
+  ASSERT_TRUE(cluster.fs.WriteLines("/empty", {"x", "y"}).ok());
+  index::IndexBuilder builder(&cluster.runner);
+  index::IndexBuildOptions options;
+  const auto result = builder.Build("/empty", "/empty.idx", options);
+  EXPECT_TRUE(result.status().IsInvalidArgument())
+      << "a file with no valid records has no MBR to index";
+}
+
+// ---------------------------------------------------------------------
+// Corrupt master files.
+
+TEST(CorruptMasterTest, LoaderRejectsBadHeaders) {
+  testing::TestCluster cluster;
+  ASSERT_TRUE(cluster.fs.WriteLines("/data", {"1,1"}).ok());
+
+  ASSERT_TRUE(cluster.fs.WriteLines("/data_master", {"no header"}).ok());
+  EXPECT_TRUE(
+      index::LoadSpatialFile(cluster.fs, "/data").status().IsParseError());
+  ASSERT_TRUE(cluster.fs.Delete("/data_master").ok());
+
+  ASSERT_TRUE(
+      cluster.fs.WriteLines("/data_master", {"#scheme=warp shape=point"})
+          .ok());
+  EXPECT_TRUE(index::LoadSpatialFile(cluster.fs, "/data")
+                  .status()
+                  .IsInvalidArgument());
+  ASSERT_TRUE(cluster.fs.Delete("/data_master").ok());
+
+  ASSERT_TRUE(cluster.fs
+                  .WriteLines("/data_master",
+                              {"#scheme=grid shape=point", "1,2,3"})
+                  .ok());
+  EXPECT_TRUE(
+      index::LoadSpatialFile(cluster.fs, "/data").status().IsParseError());
+}
+
+TEST(CorruptMasterTest, GlobalIndexLineRoundTripAndErrors) {
+  index::Partition p;
+  p.id = 3;
+  p.block_index = 7;
+  p.cell = Envelope(0, 0, 10, 10);
+  p.mbr = Envelope(1, 1, 9, 9);
+  p.num_records = 42;
+  p.num_bytes = 1234;
+  const index::GlobalIndex gi(PartitionScheme::kGrid, {p});
+  const auto lines = gi.ToLines();
+  const auto parsed =
+      index::GlobalIndex::FromLines(PartitionScheme::kGrid, lines)
+          .ValueOrDie();
+  ASSERT_EQ(parsed.NumPartitions(), 1u);
+  EXPECT_EQ(parsed.partitions()[0].mbr, p.mbr);
+  EXPECT_EQ(parsed.partitions()[0].num_records, 42u);
+
+  EXPECT_FALSE(index::GlobalIndex::FromLines(PartitionScheme::kGrid,
+                                             {"1,2,3"})
+                   .ok());
+  EXPECT_FALSE(index::GlobalIndex::FromLines(
+                   PartitionScheme::kGrid,
+                   {"a,b,0,0,1,1,0,0,1,1,5,5"})
+                   .ok());
+}
+
+// ---------------------------------------------------------------------
+// Pigeon parser robustness.
+
+TEST(PigeonRobustnessTest, ParserRejectsMalformedStatements) {
+  const char* bad_scripts[] = {
+      "= LOAD '/x' AS POINT;",                // Missing name.
+      "a LOAD '/x' AS POINT;",                // Missing '='.
+      "a = LOAD;",                            // Missing path.
+      "a = LOAD '/x';",                       // Missing AS.
+      "a = INDEX b WITH;",                    // Missing scheme.
+      "a = INDEX b WITH FOO;",                // Unknown scheme.
+      "a = RANGE b RECTANGLE(1, 2, 3);",      // Too few numbers.
+      "a = RANGE b RECTANGLE(1, 2, 3, x);",   // Non-number.
+      "a = KNN b POINT(1) K 2;",              // Bad point.
+      "a = KNNJOIN b, c;",                    // Missing K.
+      "a = SJOIN b;",                         // Missing second input.
+      "STORE a;",                             // Missing INTO.
+      "DUMP;",                                // Missing name.
+      "a = LOAD '/x' AS POINT",               // Missing ';'.
+      "'stray string';",                      // Not a statement.
+  };
+  for (const char* script : bad_scripts) {
+    EXPECT_FALSE(pigeon::Parse(script).ok()) << script;
+  }
+}
+
+TEST(PigeonRobustnessTest, LexerHandlesTrickyNumbers) {
+  auto tokens = pigeon::Tokenize("1e5 -2.5 +3 .5 1E-3").ValueOrDie();
+  ASSERT_EQ(tokens.size(), 6u);  // 5 numbers + end.
+  EXPECT_DOUBLE_EQ(tokens[0].number, 1e5);
+  EXPECT_DOUBLE_EQ(tokens[1].number, -2.5);
+  EXPECT_DOUBLE_EQ(tokens[2].number, 3);
+  EXPECT_DOUBLE_EQ(tokens[3].number, 0.5);
+  EXPECT_DOUBLE_EQ(tokens[4].number, 1e-3);
+  EXPECT_FALSE(pigeon::Tokenize("1.2.3").ok());
+}
+
+TEST(PigeonRobustnessTest, ExecutorErrorsNameTheLine) {
+  testing::TestCluster cluster;
+  pigeon::Executor executor(&cluster.runner);
+  const auto status =
+      executor.Execute("\n\n\nx = RANGE ghost RECTANGLE(0,0,1,1);").status();
+  ASSERT_TRUE(status.IsInvalidArgument());
+  EXPECT_NE(status.message().find("line 4"), std::string::npos)
+      << status.ToString();
+}
+
+// ---------------------------------------------------------------------
+// Misc persistence boundaries.
+
+TEST(PersistenceTest, StoreOfFileDatasetCopiesIt) {
+  testing::TestCluster cluster;
+  shadoop::testing::WritePoints(&cluster.fs, "/pts", 50);
+  pigeon::Executor executor(&cluster.runner);
+  ASSERT_TRUE(executor
+                  .Execute("p = LOAD '/pts' AS POINT;"
+                           "STORE p INTO '/copy';")
+                  .ok());
+  EXPECT_EQ(cluster.fs.ReadLines("/copy").ValueOrDie(),
+            cluster.fs.ReadLines("/pts").ValueOrDie());
+}
+
+TEST(PersistenceTest, ReindexingViaPigeonOverSameDestFails) {
+  testing::TestCluster cluster;
+  shadoop::testing::WritePoints(&cluster.fs, "/pts", 50);
+  pigeon::Executor executor(&cluster.runner);
+  ASSERT_TRUE(executor
+                  .Execute("p = LOAD '/pts' AS POINT;"
+                           "i = INDEX p WITH GRID INTO '/pts.g';")
+                  .ok());
+  EXPECT_TRUE(executor
+                  .Execute("p2 = LOAD '/pts' AS POINT;"
+                           "i2 = INDEX p2 WITH GRID INTO '/pts.g';")
+                  .status()
+                  .IsAlreadyExists());
+}
+
+}  // namespace
+}  // namespace shadoop
