@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cg_ops.dir/bench_cg_ops.cc.o"
+  "CMakeFiles/bench_cg_ops.dir/bench_cg_ops.cc.o.d"
+  "bench_cg_ops"
+  "bench_cg_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cg_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_knn_join.dir/bench_knn_join.cc.o"
+  "CMakeFiles/bench_knn_join.dir/bench_knn_join.cc.o.d"
+  "bench_knn_join"
+  "bench_knn_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_knn_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

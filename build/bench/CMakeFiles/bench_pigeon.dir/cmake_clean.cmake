@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pigeon.dir/bench_pigeon.cc.o"
+  "CMakeFiles/bench_pigeon.dir/bench_pigeon.cc.o.d"
+  "bench_pigeon"
+  "bench_pigeon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pigeon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

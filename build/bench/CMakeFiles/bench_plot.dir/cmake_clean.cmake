@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_plot.dir/bench_plot.cc.o"
+  "CMakeFiles/bench_plot.dir/bench_plot.cc.o.d"
+  "bench_plot"
+  "bench_plot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_plot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_range_query.dir/bench_range_query.cc.o"
+  "CMakeFiles/bench_range_query.dir/bench_range_query.cc.o.d"
+  "bench_range_query"
+  "bench_range_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_range_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_spatial_join.dir/bench_spatial_join.cc.o"
+  "CMakeFiles/bench_spatial_join.dir/bench_spatial_join.cc.o.d"
+  "bench_spatial_join"
+  "bench_spatial_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_spatial_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osm_analytics.dir/osm_analytics.cpp.o"
+  "CMakeFiles/osm_analytics.dir/osm_analytics.cpp.o.d"
+  "osm_analytics"
+  "osm_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osm_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

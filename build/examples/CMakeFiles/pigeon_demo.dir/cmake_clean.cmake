@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pigeon_demo.dir/pigeon_demo.cpp.o"
+  "CMakeFiles/pigeon_demo.dir/pigeon_demo.cpp.o.d"
+  "pigeon_demo"
+  "pigeon_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pigeon_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shadoop_shell.dir/shadoop_shell.cpp.o"
+  "CMakeFiles/shadoop_shell.dir/shadoop_shell.cpp.o.d"
+  "shadoop_shell"
+  "shadoop_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shadoop_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

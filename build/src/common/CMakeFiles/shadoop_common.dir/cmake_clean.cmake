@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shadoop_common.dir/logging.cc.o"
+  "CMakeFiles/shadoop_common.dir/logging.cc.o.d"
+  "CMakeFiles/shadoop_common.dir/random.cc.o"
+  "CMakeFiles/shadoop_common.dir/random.cc.o.d"
+  "CMakeFiles/shadoop_common.dir/status.cc.o"
+  "CMakeFiles/shadoop_common.dir/status.cc.o.d"
+  "CMakeFiles/shadoop_common.dir/string_util.cc.o"
+  "CMakeFiles/shadoop_common.dir/string_util.cc.o.d"
+  "libshadoop_common.a"
+  "libshadoop_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shadoop_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/aggregate_op.cc" "src/core/CMakeFiles/shadoop_core.dir/aggregate_op.cc.o" "gcc" "src/core/CMakeFiles/shadoop_core.dir/aggregate_op.cc.o.d"
+  "/root/repo/src/core/closest_pair_op.cc" "src/core/CMakeFiles/shadoop_core.dir/closest_pair_op.cc.o" "gcc" "src/core/CMakeFiles/shadoop_core.dir/closest_pair_op.cc.o.d"
+  "/root/repo/src/core/convex_hull_op.cc" "src/core/CMakeFiles/shadoop_core.dir/convex_hull_op.cc.o" "gcc" "src/core/CMakeFiles/shadoop_core.dir/convex_hull_op.cc.o.d"
+  "/root/repo/src/core/farthest_pair_op.cc" "src/core/CMakeFiles/shadoop_core.dir/farthest_pair_op.cc.o" "gcc" "src/core/CMakeFiles/shadoop_core.dir/farthest_pair_op.cc.o.d"
+  "/root/repo/src/core/file_mbr.cc" "src/core/CMakeFiles/shadoop_core.dir/file_mbr.cc.o" "gcc" "src/core/CMakeFiles/shadoop_core.dir/file_mbr.cc.o.d"
+  "/root/repo/src/core/histogram_op.cc" "src/core/CMakeFiles/shadoop_core.dir/histogram_op.cc.o" "gcc" "src/core/CMakeFiles/shadoop_core.dir/histogram_op.cc.o.d"
+  "/root/repo/src/core/knn.cc" "src/core/CMakeFiles/shadoop_core.dir/knn.cc.o" "gcc" "src/core/CMakeFiles/shadoop_core.dir/knn.cc.o.d"
+  "/root/repo/src/core/knn_join.cc" "src/core/CMakeFiles/shadoop_core.dir/knn_join.cc.o" "gcc" "src/core/CMakeFiles/shadoop_core.dir/knn_join.cc.o.d"
+  "/root/repo/src/core/local_join.cc" "src/core/CMakeFiles/shadoop_core.dir/local_join.cc.o" "gcc" "src/core/CMakeFiles/shadoop_core.dir/local_join.cc.o.d"
+  "/root/repo/src/core/operation_skeleton.cc" "src/core/CMakeFiles/shadoop_core.dir/operation_skeleton.cc.o" "gcc" "src/core/CMakeFiles/shadoop_core.dir/operation_skeleton.cc.o.d"
+  "/root/repo/src/core/range_query.cc" "src/core/CMakeFiles/shadoop_core.dir/range_query.cc.o" "gcc" "src/core/CMakeFiles/shadoop_core.dir/range_query.cc.o.d"
+  "/root/repo/src/core/skyline_op.cc" "src/core/CMakeFiles/shadoop_core.dir/skyline_op.cc.o" "gcc" "src/core/CMakeFiles/shadoop_core.dir/skyline_op.cc.o.d"
+  "/root/repo/src/core/spatial_file_splitter.cc" "src/core/CMakeFiles/shadoop_core.dir/spatial_file_splitter.cc.o" "gcc" "src/core/CMakeFiles/shadoop_core.dir/spatial_file_splitter.cc.o.d"
+  "/root/repo/src/core/spatial_join.cc" "src/core/CMakeFiles/shadoop_core.dir/spatial_join.cc.o" "gcc" "src/core/CMakeFiles/shadoop_core.dir/spatial_join.cc.o.d"
+  "/root/repo/src/core/spatial_record_reader.cc" "src/core/CMakeFiles/shadoop_core.dir/spatial_record_reader.cc.o" "gcc" "src/core/CMakeFiles/shadoop_core.dir/spatial_record_reader.cc.o.d"
+  "/root/repo/src/core/union_op.cc" "src/core/CMakeFiles/shadoop_core.dir/union_op.cc.o" "gcc" "src/core/CMakeFiles/shadoop_core.dir/union_op.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/shadoop_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/shadoop_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdfs/CMakeFiles/shadoop_hdfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapreduce/CMakeFiles/shadoop_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/shadoop_index.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geometry/closest_pair.cc" "src/geometry/CMakeFiles/shadoop_geometry.dir/closest_pair.cc.o" "gcc" "src/geometry/CMakeFiles/shadoop_geometry.dir/closest_pair.cc.o.d"
+  "/root/repo/src/geometry/convex_hull.cc" "src/geometry/CMakeFiles/shadoop_geometry.dir/convex_hull.cc.o" "gcc" "src/geometry/CMakeFiles/shadoop_geometry.dir/convex_hull.cc.o.d"
+  "/root/repo/src/geometry/envelope.cc" "src/geometry/CMakeFiles/shadoop_geometry.dir/envelope.cc.o" "gcc" "src/geometry/CMakeFiles/shadoop_geometry.dir/envelope.cc.o.d"
+  "/root/repo/src/geometry/farthest_pair.cc" "src/geometry/CMakeFiles/shadoop_geometry.dir/farthest_pair.cc.o" "gcc" "src/geometry/CMakeFiles/shadoop_geometry.dir/farthest_pair.cc.o.d"
+  "/root/repo/src/geometry/polygon.cc" "src/geometry/CMakeFiles/shadoop_geometry.dir/polygon.cc.o" "gcc" "src/geometry/CMakeFiles/shadoop_geometry.dir/polygon.cc.o.d"
+  "/root/repo/src/geometry/polygon_clip.cc" "src/geometry/CMakeFiles/shadoop_geometry.dir/polygon_clip.cc.o" "gcc" "src/geometry/CMakeFiles/shadoop_geometry.dir/polygon_clip.cc.o.d"
+  "/root/repo/src/geometry/polygon_union.cc" "src/geometry/CMakeFiles/shadoop_geometry.dir/polygon_union.cc.o" "gcc" "src/geometry/CMakeFiles/shadoop_geometry.dir/polygon_union.cc.o.d"
+  "/root/repo/src/geometry/segment.cc" "src/geometry/CMakeFiles/shadoop_geometry.dir/segment.cc.o" "gcc" "src/geometry/CMakeFiles/shadoop_geometry.dir/segment.cc.o.d"
+  "/root/repo/src/geometry/simplify.cc" "src/geometry/CMakeFiles/shadoop_geometry.dir/simplify.cc.o" "gcc" "src/geometry/CMakeFiles/shadoop_geometry.dir/simplify.cc.o.d"
+  "/root/repo/src/geometry/skyline.cc" "src/geometry/CMakeFiles/shadoop_geometry.dir/skyline.cc.o" "gcc" "src/geometry/CMakeFiles/shadoop_geometry.dir/skyline.cc.o.d"
+  "/root/repo/src/geometry/wkt.cc" "src/geometry/CMakeFiles/shadoop_geometry.dir/wkt.cc.o" "gcc" "src/geometry/CMakeFiles/shadoop_geometry.dir/wkt.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/shadoop_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shadoop_geometry.dir/closest_pair.cc.o"
+  "CMakeFiles/shadoop_geometry.dir/closest_pair.cc.o.d"
+  "CMakeFiles/shadoop_geometry.dir/convex_hull.cc.o"
+  "CMakeFiles/shadoop_geometry.dir/convex_hull.cc.o.d"
+  "CMakeFiles/shadoop_geometry.dir/envelope.cc.o"
+  "CMakeFiles/shadoop_geometry.dir/envelope.cc.o.d"
+  "CMakeFiles/shadoop_geometry.dir/farthest_pair.cc.o"
+  "CMakeFiles/shadoop_geometry.dir/farthest_pair.cc.o.d"
+  "CMakeFiles/shadoop_geometry.dir/polygon.cc.o"
+  "CMakeFiles/shadoop_geometry.dir/polygon.cc.o.d"
+  "CMakeFiles/shadoop_geometry.dir/polygon_clip.cc.o"
+  "CMakeFiles/shadoop_geometry.dir/polygon_clip.cc.o.d"
+  "CMakeFiles/shadoop_geometry.dir/polygon_union.cc.o"
+  "CMakeFiles/shadoop_geometry.dir/polygon_union.cc.o.d"
+  "CMakeFiles/shadoop_geometry.dir/segment.cc.o"
+  "CMakeFiles/shadoop_geometry.dir/segment.cc.o.d"
+  "CMakeFiles/shadoop_geometry.dir/simplify.cc.o"
+  "CMakeFiles/shadoop_geometry.dir/simplify.cc.o.d"
+  "CMakeFiles/shadoop_geometry.dir/skyline.cc.o"
+  "CMakeFiles/shadoop_geometry.dir/skyline.cc.o.d"
+  "CMakeFiles/shadoop_geometry.dir/wkt.cc.o"
+  "CMakeFiles/shadoop_geometry.dir/wkt.cc.o.d"
+  "libshadoop_geometry.a"
+  "libshadoop_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shadoop_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for shadoop_geometry.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shadoop_hdfs.dir/file_system.cc.o"
+  "CMakeFiles/shadoop_hdfs.dir/file_system.cc.o.d"
+  "libshadoop_hdfs.a"
+  "libshadoop_hdfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shadoop_hdfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

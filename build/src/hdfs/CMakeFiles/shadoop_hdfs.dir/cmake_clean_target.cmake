@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libshadoop_hdfs.a"
+)

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/curve_partitioner.cc" "src/index/CMakeFiles/shadoop_index.dir/curve_partitioner.cc.o" "gcc" "src/index/CMakeFiles/shadoop_index.dir/curve_partitioner.cc.o.d"
+  "/root/repo/src/index/global_index.cc" "src/index/CMakeFiles/shadoop_index.dir/global_index.cc.o" "gcc" "src/index/CMakeFiles/shadoop_index.dir/global_index.cc.o.d"
+  "/root/repo/src/index/grid_partitioner.cc" "src/index/CMakeFiles/shadoop_index.dir/grid_partitioner.cc.o" "gcc" "src/index/CMakeFiles/shadoop_index.dir/grid_partitioner.cc.o.d"
+  "/root/repo/src/index/index_builder.cc" "src/index/CMakeFiles/shadoop_index.dir/index_builder.cc.o" "gcc" "src/index/CMakeFiles/shadoop_index.dir/index_builder.cc.o.d"
+  "/root/repo/src/index/kdtree_partitioner.cc" "src/index/CMakeFiles/shadoop_index.dir/kdtree_partitioner.cc.o" "gcc" "src/index/CMakeFiles/shadoop_index.dir/kdtree_partitioner.cc.o.d"
+  "/root/repo/src/index/partition.cc" "src/index/CMakeFiles/shadoop_index.dir/partition.cc.o" "gcc" "src/index/CMakeFiles/shadoop_index.dir/partition.cc.o.d"
+  "/root/repo/src/index/partitioner.cc" "src/index/CMakeFiles/shadoop_index.dir/partitioner.cc.o" "gcc" "src/index/CMakeFiles/shadoop_index.dir/partitioner.cc.o.d"
+  "/root/repo/src/index/quadtree_partitioner.cc" "src/index/CMakeFiles/shadoop_index.dir/quadtree_partitioner.cc.o" "gcc" "src/index/CMakeFiles/shadoop_index.dir/quadtree_partitioner.cc.o.d"
+  "/root/repo/src/index/record_shape.cc" "src/index/CMakeFiles/shadoop_index.dir/record_shape.cc.o" "gcc" "src/index/CMakeFiles/shadoop_index.dir/record_shape.cc.o.d"
+  "/root/repo/src/index/rtree.cc" "src/index/CMakeFiles/shadoop_index.dir/rtree.cc.o" "gcc" "src/index/CMakeFiles/shadoop_index.dir/rtree.cc.o.d"
+  "/root/repo/src/index/space_filling_curve.cc" "src/index/CMakeFiles/shadoop_index.dir/space_filling_curve.cc.o" "gcc" "src/index/CMakeFiles/shadoop_index.dir/space_filling_curve.cc.o.d"
+  "/root/repo/src/index/str_partitioner.cc" "src/index/CMakeFiles/shadoop_index.dir/str_partitioner.cc.o" "gcc" "src/index/CMakeFiles/shadoop_index.dir/str_partitioner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/shadoop_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/shadoop_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdfs/CMakeFiles/shadoop_hdfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapreduce/CMakeFiles/shadoop_mapreduce.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shadoop_index.dir/curve_partitioner.cc.o"
+  "CMakeFiles/shadoop_index.dir/curve_partitioner.cc.o.d"
+  "CMakeFiles/shadoop_index.dir/global_index.cc.o"
+  "CMakeFiles/shadoop_index.dir/global_index.cc.o.d"
+  "CMakeFiles/shadoop_index.dir/grid_partitioner.cc.o"
+  "CMakeFiles/shadoop_index.dir/grid_partitioner.cc.o.d"
+  "CMakeFiles/shadoop_index.dir/index_builder.cc.o"
+  "CMakeFiles/shadoop_index.dir/index_builder.cc.o.d"
+  "CMakeFiles/shadoop_index.dir/kdtree_partitioner.cc.o"
+  "CMakeFiles/shadoop_index.dir/kdtree_partitioner.cc.o.d"
+  "CMakeFiles/shadoop_index.dir/partition.cc.o"
+  "CMakeFiles/shadoop_index.dir/partition.cc.o.d"
+  "CMakeFiles/shadoop_index.dir/partitioner.cc.o"
+  "CMakeFiles/shadoop_index.dir/partitioner.cc.o.d"
+  "CMakeFiles/shadoop_index.dir/quadtree_partitioner.cc.o"
+  "CMakeFiles/shadoop_index.dir/quadtree_partitioner.cc.o.d"
+  "CMakeFiles/shadoop_index.dir/record_shape.cc.o"
+  "CMakeFiles/shadoop_index.dir/record_shape.cc.o.d"
+  "CMakeFiles/shadoop_index.dir/rtree.cc.o"
+  "CMakeFiles/shadoop_index.dir/rtree.cc.o.d"
+  "CMakeFiles/shadoop_index.dir/space_filling_curve.cc.o"
+  "CMakeFiles/shadoop_index.dir/space_filling_curve.cc.o.d"
+  "CMakeFiles/shadoop_index.dir/str_partitioner.cc.o"
+  "CMakeFiles/shadoop_index.dir/str_partitioner.cc.o.d"
+  "libshadoop_index.a"
+  "libshadoop_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shadoop_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shadoop_mapreduce.dir/cluster.cc.o"
+  "CMakeFiles/shadoop_mapreduce.dir/cluster.cc.o.d"
+  "CMakeFiles/shadoop_mapreduce.dir/job_runner.cc.o"
+  "CMakeFiles/shadoop_mapreduce.dir/job_runner.cc.o.d"
+  "libshadoop_mapreduce.a"
+  "libshadoop_mapreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shadoop_mapreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

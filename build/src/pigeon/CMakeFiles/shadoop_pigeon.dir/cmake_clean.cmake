@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shadoop_pigeon.dir/executor.cc.o"
+  "CMakeFiles/shadoop_pigeon.dir/executor.cc.o.d"
+  "CMakeFiles/shadoop_pigeon.dir/lexer.cc.o"
+  "CMakeFiles/shadoop_pigeon.dir/lexer.cc.o.d"
+  "CMakeFiles/shadoop_pigeon.dir/parser.cc.o"
+  "CMakeFiles/shadoop_pigeon.dir/parser.cc.o.d"
+  "libshadoop_pigeon.a"
+  "libshadoop_pigeon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shadoop_pigeon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for shadoop_pigeon.
+# This may be replaced when dependencies are built.

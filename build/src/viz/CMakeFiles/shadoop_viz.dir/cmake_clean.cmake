@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shadoop_viz.dir/canvas.cc.o"
+  "CMakeFiles/shadoop_viz.dir/canvas.cc.o.d"
+  "CMakeFiles/shadoop_viz.dir/plot.cc.o"
+  "CMakeFiles/shadoop_viz.dir/plot.cc.o.d"
+  "libshadoop_viz.a"
+  "libshadoop_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shadoop_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shadoop_workload.dir/generators.cc.o"
+  "CMakeFiles/shadoop_workload.dir/generators.cc.o.d"
+  "CMakeFiles/shadoop_workload.dir/import.cc.o"
+  "CMakeFiles/shadoop_workload.dir/import.cc.o.d"
+  "libshadoop_workload.a"
+  "libshadoop_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shadoop_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

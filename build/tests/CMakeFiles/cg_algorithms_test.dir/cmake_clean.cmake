@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cg_algorithms_test.dir/cg_algorithms_test.cc.o"
+  "CMakeFiles/cg_algorithms_test.dir/cg_algorithms_test.cc.o.d"
+  "cg_algorithms_test"
+  "cg_algorithms_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cg_algorithms_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

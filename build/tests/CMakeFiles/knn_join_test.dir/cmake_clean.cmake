@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/knn_join_test.dir/knn_join_test.cc.o"
+  "CMakeFiles/knn_join_test.dir/knn_join_test.cc.o.d"
+  "knn_join_test"
+  "knn_join_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/knn_join_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/knn_test.cc" "tests/CMakeFiles/knn_test.dir/knn_test.cc.o" "gcc" "tests/CMakeFiles/knn_test.dir/knn_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/shadoop_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/shadoop_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapreduce/CMakeFiles/shadoop_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdfs/CMakeFiles/shadoop_hdfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/shadoop_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/shadoop_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/shadoop_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/operation_skeleton_test.dir/operation_skeleton_test.cc.o"
+  "CMakeFiles/operation_skeleton_test.dir/operation_skeleton_test.cc.o.d"
+  "operation_skeleton_test"
+  "operation_skeleton_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/operation_skeleton_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pigeon_test.dir/pigeon_test.cc.o"
+  "CMakeFiles/pigeon_test.dir/pigeon_test.cc.o.d"
+  "pigeon_test"
+  "pigeon_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pigeon_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
