@@ -3,12 +3,12 @@
 #include <memory>
 
 #include "common/string_util.h"
+#include "core/query_pipeline.h"
 #include "core/spatial_file_splitter.h"
 
 namespace shadoop::core {
 namespace {
 
-using mapreduce::JobConfig;
 using mapreduce::JobResult;
 using mapreduce::MapContext;
 
@@ -81,22 +81,21 @@ class SumReducer : public mapreduce::Reducer {
   }
 };
 
-Result<int64_t> RunCountJob(mapreduce::JobRunner* runner,
-                            std::vector<mapreduce::InputSplit> splits,
-                            index::ShapeType shape, const Envelope& query,
-                            bool deduplicate, OpStats* stats) {
-  if (splits.empty()) return static_cast<int64_t>(0);
-  JobConfig job;
-  job.name = "range-count";
-  job.splits = std::move(splits);
-  job.mapper = [shape, query, deduplicate]() {
-    return std::make_unique<CountMapper>(shape, query, deduplicate);
-  };
-  job.reducer = []() { return std::make_unique<SumReducer>(); };
-  job.num_reducers = 1;
-  JobResult result = runner->Run(job);
-  SHADOOP_RETURN_NOT_OK(result.status);
-  if (stats != nullptr) stats->Accumulate(result);
+Result<int64_t> RunCountJob(SpatialJobBuilder& builder, index::ShapeType shape,
+                            const Envelope& query, bool deduplicate,
+                            OpStats* stats) {
+  SHADOOP_RETURN_NOT_OK(builder.plan_status());
+  // Every partition pruned (or the file is empty): the count is known
+  // without running a job.
+  if (builder.NumSplits() == 0) return static_cast<int64_t>(0);
+  SHADOOP_ASSIGN_OR_RETURN(
+      JobResult result,
+      builder.Name("range-count")
+          .Map([shape, query, deduplicate]() {
+            return std::make_unique<CountMapper>(shape, query, deduplicate);
+          })
+          .Reduce([]() { return std::make_unique<SumReducer>(); })
+          .Run(stats));
   if (result.output.size() != 1) {
     return Status::Internal("range-count job produced no total");
   }
@@ -109,11 +108,9 @@ Result<int64_t> RangeCountHadoop(mapreduce::JobRunner* runner,
                                  const std::string& path,
                                  index::ShapeType shape, const Envelope& query,
                                  OpStats* stats) {
-  SHADOOP_ASSIGN_OR_RETURN(
-      std::vector<mapreduce::InputSplit> splits,
-      mapreduce::MakeBlockSplits(*runner->file_system(), path));
-  return RunCountJob(runner, std::move(splits), shape, query,
-                     /*deduplicate=*/false, stats);
+  SpatialJobBuilder builder(runner);
+  builder.ScanFile(path);
+  return RunCountJob(builder, shape, query, /*deduplicate=*/false, stats);
 }
 
 Result<int64_t> RangeCountSpatial(mapreduce::JobRunner* runner,
@@ -145,14 +142,12 @@ Result<int64_t> RangeCountSpatial(mapreduce::JobRunner* runner,
                               static_cast<int64_t>(boundary.size()));
   }
 
-  FilterFunction filter = [&boundary](const index::GlobalIndex&) {
-    return boundary;
-  };
-  SHADOOP_ASSIGN_OR_RETURN(std::vector<mapreduce::InputSplit> splits,
-                           SpatialSplits(file, filter));
+  SpatialJobBuilder builder(runner);
+  builder.ScanIndexed(
+      file, [&boundary](const index::GlobalIndex&) { return boundary; });
   SHADOOP_ASSIGN_OR_RETURN(
       int64_t scanned_count,
-      RunCountJob(runner, std::move(splits), file.shape, query,
+      RunCountJob(builder, file.shape, query,
                   /*deduplicate=*/gi.IsDisjoint(), stats));
   return metadata_count + scanned_count;
 }

@@ -6,14 +6,12 @@
 #include <memory>
 
 #include "common/string_util.h"
-#include "core/spatial_file_splitter.h"
-#include "core/spatial_record_reader.h"
+#include "core/query_pipeline.h"
 #include "geometry/wkt.h"
 
 namespace shadoop::core {
 namespace {
 
-using mapreduce::JobConfig;
 using mapreduce::JobResult;
 using mapreduce::MapContext;
 
@@ -42,26 +40,14 @@ Result<PointPair> DecodePair(std::string_view text) {
 
 /// Emits the local closest pair under key "L" and the boundary-buffer
 /// candidate points under key "P".
-class ClosestPairMapper : public mapreduce::Mapper {
+class ClosestPairMapper : public PartitionMapper {
  public:
-  ClosestPairMapper() : reader_(index::ShapeType::kPoint) {}
+  ClosestPairMapper() : PartitionMapper(index::ShapeType::kPoint) {}
 
-  void BeginSplit(MapContext& ctx) override {
-    auto extent = ParseSplitExtent(ctx.split().meta);
-    if (!extent.ok()) {
-      ctx.Fail(extent.status());
-      return;
-    }
-    cell_ = extent.value().cell;
-  }
-
-  void Map(const std::string& record, MapContext& ctx) override {
-    (void)ctx;
-    reader_.Add(record);
-  }
-
-  void EndSplit(MapContext& ctx) override {
-    std::vector<Point> points = reader_.Points();
+ protected:
+  void Process(const SplitExtent& extent, PartitionView& view,
+               MapContext& ctx) override {
+    std::vector<Point> points = view.Points();
     const size_t n = points.size();
     ctx.ChargeCpu(static_cast<uint64_t>(
         n > 1 ? n * std::log2(static_cast<double>(n)) * 40 : n));
@@ -74,7 +60,7 @@ class ClosestPairMapper : public mapreduce::Mapper {
     // point survives, as it must.)
     size_t emitted = 0;
     for (const Point& p : points) {
-      if (DistanceToBoundary(p, cell_) < local.distance) {
+      if (DistanceToBoundary(p, extent.cell) < local.distance) {
         ctx.Emit("P", PointToCsv(p));
         ++emitted;
       }
@@ -84,10 +70,6 @@ class ClosestPairMapper : public mapreduce::Mapper {
     ctx.counters().Increment("closest_pair.pruned",
                              static_cast<int64_t>(n - emitted));
   }
-
- private:
-  SpatialRecordReader reader_;
-  Envelope cell_;
 };
 
 /// Takes the minimum of the local pairs ("L") and the closest pair of the
@@ -147,15 +129,14 @@ Result<PointPair> ClosestPairSpatial(mapreduce::JobRunner* runner,
         "quadtree or kdtree); got " +
         std::string(index::PartitionSchemeName(file.global_index.scheme())));
   }
-  JobConfig job;
-  job.name = "closest-pair";
-  SHADOOP_ASSIGN_OR_RETURN(job.splits, SpatialSplits(file, KeepAllFilter));
-  job.mapper = []() { return std::make_unique<ClosestPairMapper>(); };
-  job.reducer = []() { return std::make_unique<ClosestPairReducer>(); };
-  job.num_reducers = 1;
-  JobResult result = runner->Run(job);
-  SHADOOP_RETURN_NOT_OK(result.status);
-  if (stats != nullptr) stats->Accumulate(result);
+  SHADOOP_ASSIGN_OR_RETURN(
+      JobResult result,
+      SpatialJobBuilder(runner)
+          .Name("closest-pair")
+          .ScanIndexed(file)
+          .Map([]() { return std::make_unique<ClosestPairMapper>(); })
+          .Reduce([]() { return std::make_unique<ClosestPairReducer>(); })
+          .Run(stats));
   if (result.output.empty()) {
     return Status::InvalidArgument("closest pair needs at least 2 points");
   }

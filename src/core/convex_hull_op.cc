@@ -4,30 +4,27 @@
 #include <memory>
 #include <set>
 
+#include "core/query_pipeline.h"
 #include "core/skyline_op.h"
-#include "core/spatial_file_splitter.h"
-#include "core/spatial_record_reader.h"
 #include "geometry/convex_hull.h"
 #include "geometry/wkt.h"
 
 namespace shadoop::core {
 namespace {
 
-using mapreduce::JobConfig;
 using mapreduce::JobResult;
 using mapreduce::MapContext;
 
-class HullMapper : public mapreduce::Mapper {
+class HullMapper : public PartitionMapper {
  public:
-  HullMapper() : reader_(index::ShapeType::kPoint) {}
+  HullMapper()
+      : PartitionMapper(index::ShapeType::kPoint, /*parse_extent=*/false) {}
 
-  void Map(const std::string& record, MapContext& ctx) override {
-    (void)ctx;
-    reader_.Add(record);
-  }
-
-  void EndSplit(MapContext& ctx) override {
-    std::vector<Point> points = reader_.Points();
+ protected:
+  void Process(const SplitExtent& extent, PartitionView& view,
+               MapContext& ctx) override {
+    (void)extent;
+    std::vector<Point> points = view.Points();
     const size_t n = points.size();
     ctx.ChargeCpu(static_cast<uint64_t>(
         n > 1 ? n * std::log2(static_cast<double>(n)) * 20 : n));
@@ -35,11 +32,8 @@ class HullMapper : public mapreduce::Mapper {
       ctx.Emit("H", PointToCsv(p));
     }
     ctx.counters().Increment("hull.bad_records",
-                             static_cast<int64_t>(reader_.bad_records()));
+                             static_cast<int64_t>(view.bad_records()));
   }
-
- private:
-  SpatialRecordReader reader_;
 };
 
 class HullReducer : public mapreduce::Reducer {
@@ -62,26 +56,16 @@ class HullReducer : public mapreduce::Reducer {
   }
 };
 
-Result<std::vector<Point>> RunHullJob(mapreduce::JobRunner* runner,
-                                      std::vector<mapreduce::InputSplit> splits,
+/// Two-round merge, mirroring the skyline: parallel partial hulls in the
+/// reduce round, final hull of the small survivor set on the master.
+Result<std::vector<Point>> RunHullJob(SpatialJobBuilder& builder,
                                       const char* name, OpStats* stats) {
-  // Two-round merge, mirroring the skyline: parallel partial hulls in the
-  // reduce round, final hull of the small survivor set on the master.
-  JobConfig job;
-  job.name = name;
-  job.splits = std::move(splits);
-  job.mapper = []() { return std::make_unique<HullMapper>(); };
-  job.reducer = []() { return std::make_unique<HullReducer>(); };
-  job.num_reducers =
-      std::min<int>(runner->cluster().num_slots,
-                    std::max<int>(1, static_cast<int>(job.splits.size()) / 4));
-  int counter = 0;
-  job.partitioner = [counter](const std::string&, int reducers) mutable {
-    return counter++ % reducers;
-  };
-  JobResult result = runner->Run(job);
-  SHADOOP_RETURN_NOT_OK(result.status);
-  if (stats != nullptr) stats->Accumulate(result);
+  SHADOOP_ASSIGN_OR_RETURN(
+      JobResult result,
+      builder.Name(name)
+          .Map([]() { return std::make_unique<HullMapper>(); })
+          .ParallelMerge([]() { return std::make_unique<HullReducer>(); })
+          .Run(stats));
   std::vector<Point> candidates;
   candidates.reserve(result.output.size());
   for (const std::string& line : result.output) {
@@ -106,29 +90,27 @@ std::vector<int> ConvexHullPartitionFilter(const index::GlobalIndex& gi) {
 Result<std::vector<Point>> ConvexHullHadoop(mapreduce::JobRunner* runner,
                                             const std::string& path,
                                             OpStats* stats) {
-  SHADOOP_ASSIGN_OR_RETURN(
-      std::vector<mapreduce::InputSplit> splits,
-      mapreduce::MakeBlockSplits(*runner->file_system(), path));
-  return RunHullJob(runner, std::move(splits), "convex-hull-hadoop", stats);
+  SpatialJobBuilder builder(runner);
+  builder.ScanFile(path);
+  return RunHullJob(builder, "convex-hull-hadoop", stats);
 }
 
 Result<std::vector<Point>> ConvexHullSpatial(mapreduce::JobRunner* runner,
                                              const index::SpatialFileInfo& file,
                                              OpStats* stats) {
-  SHADOOP_ASSIGN_OR_RETURN(
-      std::vector<mapreduce::InputSplit> splits,
-      SpatialSplits(file, [](const index::GlobalIndex& gi) {
-        return ConvexHullPartitionFilter(gi);
-      }));
-  if (stats != nullptr) {
+  SpatialJobBuilder builder(runner);
+  builder.ScanIndexed(file, [](const index::GlobalIndex& gi) {
+    return ConvexHullPartitionFilter(gi);
+  });
+  if (stats != nullptr && builder.plan_status().ok()) {
     stats->counters.Increment("hull.partitions_processed",
-                              static_cast<int64_t>(splits.size()));
+                              static_cast<int64_t>(builder.NumSplits()));
     stats->counters.Increment(
         "hull.partitions_pruned",
         static_cast<int64_t>(file.global_index.NumPartitions() -
-                             splits.size()));
+                             builder.NumSplits()));
   }
-  return RunHullJob(runner, std::move(splits), "convex-hull-spatial", stats);
+  return RunHullJob(builder, "convex-hull-spatial", stats);
 }
 
 }  // namespace shadoop::core

@@ -6,8 +6,7 @@
 
 #include "common/string_util.h"
 #include "core/convex_hull_op.h"
-#include "core/spatial_file_splitter.h"
-#include "core/spatial_record_reader.h"
+#include "core/query_pipeline.h"
 #include "geometry/convex_hull.h"
 #include "geometry/farthest_pair.h"
 #include "geometry/wkt.h"
@@ -15,7 +14,6 @@
 namespace shadoop::core {
 namespace {
 
-using mapreduce::JobConfig;
 using mapreduce::JobResult;
 using mapreduce::MapContext;
 
@@ -37,17 +35,18 @@ double SelfLowerBound(const Envelope& a) {
   return std::max(a.Width(), a.Height());
 }
 
-class FarthestPairMapper : public mapreduce::Mapper {
+/// Runs over both split kinds of the farthest-pair job (pair splits and
+/// single-partition self splits), so it ignores the split meta entirely.
+class FarthestPairMapper : public PartitionMapper {
  public:
-  FarthestPairMapper() : reader_(index::ShapeType::kPoint) {}
+  FarthestPairMapper()
+      : PartitionMapper(index::ShapeType::kPoint, /*parse_extent=*/false) {}
 
-  void Map(const std::string& record, MapContext& ctx) override {
-    (void)ctx;
-    reader_.Add(record);
-  }
-
-  void EndSplit(MapContext& ctx) override {
-    std::vector<Point> points = reader_.Points();
+ protected:
+  void Process(const SplitExtent& extent, PartitionView& view,
+               MapContext& ctx) override {
+    (void)extent;
+    std::vector<Point> points = view.Points();
     const size_t n = points.size();
     ctx.ChargeCpu(static_cast<uint64_t>(
         n > 1 ? n * std::log2(static_cast<double>(n)) * 20 : n));
@@ -58,9 +57,6 @@ class FarthestPairMapper : public mapreduce::Mapper {
                         PointToCsv(pair.second));
     }
   }
-
- private:
-  SpatialRecordReader reader_;
 };
 
 class MaxPairReducer : public mapreduce::Reducer {
@@ -156,25 +152,18 @@ Result<PointPair> FarthestPairSpatial(mapreduce::JobRunner* runner,
       cross.emplace_back(a, b);
     }
   }
-  SHADOOP_ASSIGN_OR_RETURN(std::vector<mapreduce::InputSplit> splits,
-                           PairSplits(file, file, cross));
-  FilterFunction self_filter = [&self_ids](const index::GlobalIndex&) {
-    return self_ids;
-  };
-  SHADOOP_ASSIGN_OR_RETURN(std::vector<mapreduce::InputSplit> self_splits,
-                           SpatialSplits(file, self_filter));
-  splits.insert(splits.end(), std::make_move_iterator(self_splits.begin()),
-                std::make_move_iterator(self_splits.end()));
-
-  JobConfig job;
-  job.name = "farthest-pair";
-  job.splits = std::move(splits);
-  job.mapper = []() { return std::make_unique<FarthestPairMapper>(); };
-  job.reducer = []() { return std::make_unique<MaxPairReducer>(); };
-  job.num_reducers = 1;
-  JobResult result = runner->Run(job);
-  SHADOOP_RETURN_NOT_OK(result.status);
-  if (stats != nullptr) stats->Accumulate(result);
+  SHADOOP_ASSIGN_OR_RETURN(
+      JobResult result,
+      SpatialJobBuilder(runner)
+          .Name("farthest-pair")
+          .ScanPartitionPairs(file, file, cross)
+          .ScanIndexed(file,
+                       [&self_ids](const index::GlobalIndex&) {
+                         return self_ids;
+                       })
+          .Map([]() { return std::make_unique<FarthestPairMapper>(); })
+          .Reduce([]() { return std::make_unique<MaxPairReducer>(); })
+          .Run(stats));
   if (result.output.empty()) {
     return Status::InvalidArgument("farthest pair needs at least 2 points");
   }

@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "core/query_pipeline.h"
 #include "geometry/wkt.h"
 
 namespace shadoop::core {
@@ -35,14 +36,13 @@ class MbrMapper : public mapreduce::Mapper {
 Result<Envelope> ComputeFileMbr(mapreduce::JobRunner* runner,
                                 const std::string& path,
                                 index::ShapeType shape, OpStats* stats) {
-  mapreduce::JobConfig job;
-  job.name = "compute-mbr";
   SHADOOP_ASSIGN_OR_RETURN(
-      job.splits, mapreduce::MakeBlockSplits(*runner->file_system(), path));
-  job.mapper = [shape]() { return std::make_unique<MbrMapper>(shape); };
-  mapreduce::JobResult result = runner->Run(job);
-  SHADOOP_RETURN_NOT_OK(result.status);
-  if (stats != nullptr) stats->Accumulate(result);
+      mapreduce::JobResult result,
+      SpatialJobBuilder(runner)
+          .Name("compute-mbr")
+          .ScanFile(path)
+          .Map([shape]() { return std::make_unique<MbrMapper>(shape); })
+          .Run(stats));
   Envelope mbr;
   for (const std::string& line : result.output) {
     SHADOOP_ASSIGN_OR_RETURN(Envelope e, ParseEnvelopeCsv(line));

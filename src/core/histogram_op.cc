@@ -5,11 +5,11 @@
 #include <memory>
 
 #include "common/string_util.h"
+#include "core/query_pipeline.h"
 
 namespace shadoop::core {
 namespace {
 
-using mapreduce::JobConfig;
 using mapreduce::JobResult;
 using mapreduce::MapContext;
 
@@ -119,20 +119,19 @@ Result<GridHistogram> ComputeGridHistogram(mapreduce::JobRunner* runner,
   if (space.IsEmpty()) {
     return Status::InvalidArgument("histogram needs a non-empty space");
   }
-  JobConfig job;
-  job.name = "grid-histogram";
-  SHADOOP_ASSIGN_OR_RETURN(
-      job.splits, mapreduce::MakeBlockSplits(*runner->file_system(), path));
   GridHistogram grid(cols, rows, space);
-  job.mapper = [shape, grid]() {
-    return std::make_unique<HistogramMapper>(shape, grid);
-  };
-  job.combiner = []() { return std::make_unique<SumPerCellReducer>(false); };
-  job.reducer = []() { return std::make_unique<SumPerCellReducer>(true); };
-  job.num_reducers = runner->cluster().num_slots;
-  JobResult result = runner->Run(job);
-  SHADOOP_RETURN_NOT_OK(result.status);
-  if (stats != nullptr) stats->Accumulate(result);
+  SHADOOP_ASSIGN_OR_RETURN(
+      JobResult result,
+      SpatialJobBuilder(runner)
+          .Name("grid-histogram")
+          .ScanFile(path)
+          .Map([shape, grid]() {
+            return std::make_unique<HistogramMapper>(shape, grid);
+          })
+          .Combine([]() { return std::make_unique<SumPerCellReducer>(false); })
+          .Reduce([]() { return std::make_unique<SumPerCellReducer>(true); },
+                  runner->cluster().num_slots)
+          .Run(stats));
 
   GridHistogram histogram(cols, rows, space);
   for (const std::string& line : result.output) {

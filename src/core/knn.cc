@@ -7,12 +7,11 @@
 #include <set>
 
 #include "common/string_util.h"
-#include "core/spatial_file_splitter.h"
+#include "core/query_pipeline.h"
 
 namespace shadoop::core {
 namespace {
 
-using mapreduce::JobConfig;
 using mapreduce::JobResult;
 using mapreduce::MapContext;
 
@@ -120,17 +119,13 @@ Result<std::vector<KnnAnswer>> ParseAnswers(
   return answers;
 }
 
-JobConfig MakeKnnJob(std::vector<mapreduce::InputSplit> splits,
-                     index::ShapeType shape, const Point& q, size_t k) {
-  JobConfig job;
-  job.name = "knn";
-  job.splits = std::move(splits);
-  job.mapper = [shape, q, k]() {
-    return std::make_unique<KnnMapper>(shape, q, k);
-  };
-  job.reducer = [k]() { return std::make_unique<KnnReducer>(k); };
-  job.num_reducers = 1;
-  return job;
+/// Wires the per-round job shape onto a builder whose input is planned.
+Result<JobResult> RunKnnJob(SpatialJobBuilder& builder, index::ShapeType shape,
+                            const Point& q, size_t k, OpStats* stats) {
+  return builder.Name("knn")
+      .Map([shape, q, k]() { return std::make_unique<KnnMapper>(shape, q, k); })
+      .Reduce([k]() { return std::make_unique<KnnReducer>(k); })
+      .Run(stats);
 }
 
 }  // namespace
@@ -140,12 +135,10 @@ Result<std::vector<KnnAnswer>> KnnHadoop(mapreduce::JobRunner* runner,
                                          index::ShapeType shape,
                                          const Point& q, size_t k,
                                          OpStats* stats) {
-  SHADOOP_ASSIGN_OR_RETURN(
-      std::vector<mapreduce::InputSplit> splits,
-      mapreduce::MakeBlockSplits(*runner->file_system(), path));
-  JobResult result = runner->Run(MakeKnnJob(std::move(splits), shape, q, k));
-  SHADOOP_RETURN_NOT_OK(result.status);
-  if (stats != nullptr) stats->Accumulate(result);
+  SpatialJobBuilder builder(runner);
+  builder.ScanFile(path);
+  SHADOOP_ASSIGN_OR_RETURN(JobResult result,
+                           RunKnnJob(builder, shape, q, k, stats));
   return ParseAnswers(result.output);
 }
 
@@ -176,15 +169,11 @@ Result<std::vector<KnnAnswer>> KnnSpatial(mapreduce::JobRunner* runner,
 
   TopK top(k);
   while (!round.empty()) {
-    FilterFunction filter = [&round](const index::GlobalIndex&) {
-      return round;
-    };
-    SHADOOP_ASSIGN_OR_RETURN(std::vector<mapreduce::InputSplit> splits,
-                             SpatialSplits(file, filter));
-    JobResult result =
-        runner->Run(MakeKnnJob(std::move(splits), file.shape, q, k));
-    SHADOOP_RETURN_NOT_OK(result.status);
-    if (stats != nullptr) stats->Accumulate(result);
+    SpatialJobBuilder builder(runner);
+    builder.ScanIndexed(
+        file, [&round](const index::GlobalIndex&) { return round; });
+    SHADOOP_ASSIGN_OR_RETURN(JobResult result,
+                             RunKnnJob(builder, file.shape, q, k, stats));
     SHADOOP_ASSIGN_OR_RETURN(std::vector<KnnAnswer> answers,
                              ParseAnswers(result.output));
     for (const KnnAnswer& a : answers) top.Offer(a.distance, a.record);

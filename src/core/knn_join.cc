@@ -7,9 +7,8 @@
 #include <memory>
 
 #include "common/string_util.h"
-#include "core/spatial_file_splitter.h"
+#include "core/query_pipeline.h"
 #include "core/spatial_join.h"
-#include "core/spatial_record_reader.h"
 #include "geometry/wkt.h"
 #include "index/rtree.h"
 
@@ -17,7 +16,6 @@ namespace shadoop::core {
 namespace {
 
 using mapreduce::InputSplit;
-using mapreduce::JobConfig;
 using mapreduce::JobResult;
 using mapreduce::MapContext;
 
@@ -41,42 +39,30 @@ InputSplit MakeJoinSplit(const index::SpatialFileInfo& file_a,
   return split;
 }
 
-/// Shared by both rounds: buffers A records (block 0) and B records
-/// (later blocks) as points.
-class TwoSidedMapper : public mapreduce::Mapper {
+/// Shared by both rounds: the A partition id rides in the split meta, so
+/// extent parsing is off and Process() reads ctx.split().meta directly.
+class KnnJoinMapper : public PairPartitionMapper {
  public:
-  TwoSidedMapper()
-      : reader_a_(index::ShapeType::kPoint),
-        reader_b_(index::ShapeType::kPoint) {}
-
-  void BeginBlock(size_t ordinal, MapContext& ctx) override {
-    (void)ctx;
-    in_a_ = ordinal == 0;
-  }
-
-  void Map(const std::string& record, MapContext& ctx) override {
-    (void)ctx;
-    (in_a_ ? reader_a_ : reader_b_).Add(record);
-  }
-
- protected:
-  SpatialRecordReader reader_a_;
-  SpatialRecordReader reader_b_;
-
- private:
-  bool in_a_ = true;
+  KnnJoinMapper()
+      : PairPartitionMapper(index::ShapeType::kPoint, index::ShapeType::kPoint,
+                            /*parse_extents=*/false) {}
 };
 
 /// Round 1: reports Δ = the largest k-th-neighbour distance of any A
 /// record against the candidate B subset (an upper bound for the exact
 /// k-th distance, because adding more B records can only shrink it).
-class BoundMapper : public TwoSidedMapper {
+class BoundMapper : public KnnJoinMapper {
  public:
   explicit BoundMapper(size_t k) : k_(k) {}
 
-  void EndSplit(MapContext& ctx) override {
-    const std::vector<Point> a_points = reader_a_.Points();
-    const std::vector<Point> b_points = reader_b_.Points();
+ protected:
+  void Process(const SplitExtent& extent_a, const SplitExtent& extent_b,
+               PartitionView& view_a, PartitionView& view_b,
+               MapContext& ctx) override {
+    (void)extent_a;
+    (void)extent_b;
+    const std::vector<Point> a_points = view_a.Points();
+    const std::vector<Point> b_points = view_b.Points();
     double delta = 0.0;
     if (b_points.size() < k_) {
       // Not enough candidates to bound: the verify round must consider
@@ -103,13 +89,20 @@ class BoundMapper : public TwoSidedMapper {
 
 /// Round 2: exact kNN of every A record against the guaranteed-complete
 /// candidate set, via best-first search on a local R-tree over B.
-class VerifyMapper : public TwoSidedMapper {
+class VerifyMapper : public KnnJoinMapper {
  public:
   explicit VerifyMapper(size_t k) : k_(k) {}
 
-  void EndSplit(MapContext& ctx) override {
-    const std::vector<Point> a_points = reader_a_.Points();
-    const index::RTree b_tree(reader_b_.Envelopes());
+ protected:
+  void Process(const SplitExtent& extent_a, const SplitExtent& extent_b,
+               PartitionView& view_a, PartitionView& view_b,
+               MapContext& ctx) override {
+    (void)extent_a;
+    (void)extent_b;
+    const std::vector<Point> a_points = view_a.Points();
+    // The B side concatenates several partitions' blocks, so an ad-hoc
+    // R-tree is always bulk-loaded here (never the persisted-index path).
+    const index::RTree b_tree(view_b.Envelopes());
     const size_t nb = b_tree.NumEntries();
     ctx.ChargeCpu(static_cast<uint64_t>(
         nb > 1 ? nb * std::log2(static_cast<double>(nb)) * 10 : nb));
@@ -119,12 +112,12 @@ class VerifyMapper : public TwoSidedMapper {
       ctx.ChargeCpu(k_ * 60);
       int rank = 0;
       for (uint32_t payload : neighbours) {
-        auto b_point = index::RecordPoint(reader_b_.records()[payload]);
+        auto b_point = index::RecordPoint(view_b.records()[payload]);
         if (!b_point.ok()) continue;
         ++rank;
-        ctx.WriteOutput(reader_a_.records()[ai] +
+        ctx.WriteOutput(view_a.records()[ai] +
                         std::string(1, kJoinSeparator) +
-                        reader_b_.records()[payload] +
+                        view_b.records()[payload] +
                         std::string(1, kJoinSeparator) +
                         FormatDouble(Distance(a_points[ai],
                                               b_point.value())) +
@@ -157,8 +150,8 @@ Result<std::vector<KnnJoinAnswer>> KnnJoinSpatial(
   // ---------------------------------------------------------------
   // Round 1: bound job — each A partition against the nearest B
   // partitions covering at least k records.
-  JobConfig bound_job;
-  bound_job.name = "knn-join-bound";
+  SpatialJobBuilder bound_job(runner);
+  bound_job.Name("knn-join-bound");
   for (const index::Partition& pa : parts_a) {
     std::vector<std::pair<double, int>> by_distance;
     for (const index::Partition& pb : parts_b) {
@@ -172,12 +165,12 @@ Result<std::vector<KnnJoinAnswer>> KnnJoinSpatial(
       covered += parts_b[id].num_records;
       if (covered >= k) break;
     }
-    bound_job.splits.push_back(MakeJoinSplit(file_a, pa, file_b, selected));
+    bound_job.AddSplit(MakeJoinSplit(file_a, pa, file_b, selected));
   }
-  bound_job.mapper = [k]() { return std::make_unique<BoundMapper>(k); };
-  JobResult bound_result = runner->Run(bound_job);
-  SHADOOP_RETURN_NOT_OK(bound_result.status);
-  if (stats != nullptr) stats->Accumulate(bound_result);
+  SHADOOP_ASSIGN_OR_RETURN(
+      JobResult bound_result,
+      bound_job.Map([k]() { return std::make_unique<BoundMapper>(k); })
+          .Run(stats));
 
   std::map<int, double> delta_of;
   for (const std::string& line : bound_result.output) {
@@ -192,8 +185,8 @@ Result<std::vector<KnnJoinAnswer>> KnnJoinSpatial(
 
   // ---------------------------------------------------------------
   // Round 2: verify job — every B partition within Δ of the A partition.
-  JobConfig verify_job;
-  verify_job.name = "knn-join-verify";
+  SpatialJobBuilder verify_job(runner);
+  verify_job.Name("knn-join-verify");
   for (const index::Partition& pa : parts_a) {
     auto it = delta_of.find(pa.id);
     const double delta = it == delta_of.end()
@@ -203,12 +196,12 @@ Result<std::vector<KnnJoinAnswer>> KnnJoinSpatial(
     for (const index::Partition& pb : parts_b) {
       if (pa.mbr.MinDistance(pb.mbr) <= delta) selected.push_back(pb.id);
     }
-    verify_job.splits.push_back(MakeJoinSplit(file_a, pa, file_b, selected));
+    verify_job.AddSplit(MakeJoinSplit(file_a, pa, file_b, selected));
   }
-  verify_job.mapper = [k]() { return std::make_unique<VerifyMapper>(k); };
-  JobResult verify_result = runner->Run(verify_job);
-  SHADOOP_RETURN_NOT_OK(verify_result.status);
-  if (stats != nullptr) stats->Accumulate(verify_result);
+  SHADOOP_ASSIGN_OR_RETURN(
+      JobResult verify_result,
+      verify_job.Map([k]() { return std::make_unique<VerifyMapper>(k); })
+          .Run(stats));
 
   std::vector<KnnJoinAnswer> answers;
   answers.reserve(verify_result.output.size());

@@ -2,12 +2,11 @@
 
 #include <memory>
 
-#include "core/spatial_record_reader.h"
+#include "core/query_pipeline.h"
 
 namespace shadoop::core {
 namespace {
 
-using mapreduce::JobConfig;
 using mapreduce::JobResult;
 using mapreduce::MapContext;
 
@@ -27,33 +26,20 @@ class LocalOutputImpl : public LocalOutput {
   MapContext* ctx_;
 };
 
-class SkeletonMapper : public mapreduce::Mapper {
+class SkeletonMapper : public PartitionMapper {
  public:
-  explicit SkeletonMapper(const OperationSkeleton* op) : op_(op) {}
+  SkeletonMapper(index::ShapeType shape, const OperationSkeleton* op)
+      : PartitionMapper(shape), op_(op) {}
 
-  void BeginSplit(MapContext& ctx) override {
-    auto extent = ParseSplitExtent(ctx.split().meta);
-    if (!extent.ok()) {
-      ctx.Fail(extent.status());
-      return;
-    }
-    extent_ = extent.value();
-  }
-
-  void Map(const std::string& record, MapContext& ctx) override {
-    (void)ctx;
-    if (!index::IsMetadataRecord(record)) records_.push_back(record);
-  }
-
-  void EndSplit(MapContext& ctx) override {
+ protected:
+  void Process(const SplitExtent& extent, PartitionView& view,
+               MapContext& ctx) override {
     LocalOutputImpl out(&ctx);
-    op_->local(extent_, records_, &out);
+    op_->local(extent, view.records(), &out);
   }
 
  private:
   const OperationSkeleton* op_;
-  SplitExtent extent_;
-  std::vector<std::string> records_;
 };
 
 }  // namespace
@@ -66,16 +52,17 @@ Result<std::vector<std::string>> RunOperation(mapreduce::JobRunner* runner,
     return Status::InvalidArgument("operation '" + op.name +
                                    "' has no local function");
   }
-  JobConfig job;
-  job.name = op.name;
-  SHADOOP_ASSIGN_OR_RETURN(
-      job.splits,
-      SpatialSplits(file, op.filter ? op.filter : KeepAllFilter));
   const OperationSkeleton* op_ptr = &op;
-  job.mapper = [op_ptr]() { return std::make_unique<SkeletonMapper>(op_ptr); };
-  JobResult result = runner->Run(job);
-  SHADOOP_RETURN_NOT_OK(result.status);
-  if (stats != nullptr) stats->Accumulate(result);
+  const index::ShapeType shape = file.shape;
+  SHADOOP_ASSIGN_OR_RETURN(
+      JobResult result,
+      SpatialJobBuilder(runner)
+          .Name(op.name)
+          .ScanIndexed(file, op.filter)
+          .Map([op_ptr, shape]() {
+            return std::make_unique<SkeletonMapper>(shape, op_ptr);
+          })
+          .Run(stats));
 
   // Map-only job: emitted pairs pass through as "M\t<row>"; split them
   // from the early-flushed rows.

@@ -15,9 +15,10 @@ namespace shadoop::core {
 
 /// The generic five-step framework of the paper (partition / filter /
 /// local-process / prune / merge), packaged so that a new spatial
-/// operation is three closures instead of a MapReduce program. The
-/// built-in operations are hand-written for control over their cost
-/// accounting; this skeleton is the extension point for everything else.
+/// operation is three closures instead of a MapReduce program. Like the
+/// built-in operations, it runs on the SpatialJobBuilder query pipeline
+/// (core/query_pipeline.h, DESIGN.md §7); operations that need custom job
+/// shapes or cost accounting use the builder directly instead.
 ///
 /// A one-page custom operation ("the 5 north-most records"):
 ///

@@ -1,14 +1,12 @@
 #include "core/range_query.h"
 
-#include <cmath>
 #include <memory>
 
-#include "core/spatial_record_reader.h"
+#include "core/query_pipeline.h"
 
 namespace shadoop::core {
 namespace {
 
-using mapreduce::JobConfig;
 using mapreduce::JobResult;
 using mapreduce::MapContext;
 
@@ -35,66 +33,39 @@ class HadoopRangeMapper : public mapreduce::Mapper {
   Envelope query_;
 };
 
-class SpatialRangeMapper : public mapreduce::Mapper {
+class SpatialRangeMapper : public PartitionMapper {
  public:
   SpatialRangeMapper(index::ShapeType shape, Envelope query, bool deduplicate)
-      : reader_(shape), query_(query), deduplicate_(deduplicate) {}
+      : PartitionMapper(shape), query_(query), deduplicate_(deduplicate) {}
 
-  void BeginSplit(MapContext& ctx) override {
-    auto extent = ParseSplitExtent(ctx.split().meta);
-    if (!extent.ok()) {
-      ctx.Fail(extent.status());
-      return;
-    }
-    extent_ = extent.value();
-  }
-
-  void Map(const std::string& record, MapContext& ctx) override {
-    (void)ctx;
-    reader_.Add(record);
-  }
-
-  void EndSplit(MapContext& ctx) override {
-    // A persisted local index loads linearly; otherwise the bulk load
-    // parses geometry and sorts — O(n log n).
-    const bool persisted = reader_.has_local_index();
-    index::RTree local_index = reader_.BuildLocalIndex();
-    const size_t n = local_index.NumEntries();
-    ctx.ChargeCpu(persisted
-                      ? static_cast<uint64_t>(n)
-                      : static_cast<uint64_t>(
-                            n > 1 ? n * std::log2(static_cast<double>(n)) * 10
-                                  : n));
-    std::vector<uint32_t> hits;
-    const size_t visited = local_index.Search(query_, &hits);
-    ctx.ChargeCpu(visited * 50);
-    for (uint32_t i : hits) {
+ protected:
+  void Process(const SplitExtent& extent, PartitionView& view,
+               MapContext& ctx) override {
+    for (uint32_t i : view.Search(query_, ctx)) {
       if (deduplicate_) {
         // Reference-point technique: a record replicated to several
         // partitions is reported only by the partition owning the
         // bottom-left corner of (record MBR ∩ query).
-        auto env = index::RecordEnvelope(reader_.shape(), reader_.records()[i]);
+        auto env = index::RecordEnvelope(view.shape(), view.records()[i]);
         if (!env.ok()) continue;
         const Point ref = env.value().Intersection(query_).BottomLeft();
-        const bool right_edge = extent_.cell.max_x() >= extent_.file_mbr.max_x();
-        const bool top_edge = extent_.cell.max_y() >= extent_.file_mbr.max_y();
-        if (!extent_.cell.ContainsHalfOpen(ref, right_edge, top_edge)) {
+        const bool right_edge = extent.cell.max_x() >= extent.file_mbr.max_x();
+        const bool top_edge = extent.cell.max_y() >= extent.file_mbr.max_y();
+        if (!extent.cell.ContainsHalfOpen(ref, right_edge, top_edge)) {
           ctx.counters().Increment("range.deduplicated");
           continue;
         }
       }
-      ctx.WriteOutput(reader_.records()[i]);
+      ctx.WriteOutput(view.records()[i]);
       ctx.counters().Increment("range.matches");
     }
     ctx.counters().Increment("range.bad_records",
-                             static_cast<int64_t>(reader_.bad_records()));
+                             static_cast<int64_t>(view.bad_records()));
   }
 
  private:
-  SpatialRecordReader reader_;
   Envelope query_;
   bool deduplicate_;
-  SplitExtent extent_;
 };
 
 }  // namespace
@@ -104,34 +75,32 @@ Result<std::vector<std::string>> RangeQueryHadoop(mapreduce::JobRunner* runner,
                                                   index::ShapeType shape,
                                                   const Envelope& query,
                                                   OpStats* stats) {
-  JobConfig job;
-  job.name = "range-query-hadoop";
   SHADOOP_ASSIGN_OR_RETURN(
-      job.splits, mapreduce::MakeBlockSplits(*runner->file_system(), path));
-  job.mapper = [shape, query]() {
-    return std::make_unique<HadoopRangeMapper>(shape, query);
-  };
-  JobResult result = runner->Run(job);
-  SHADOOP_RETURN_NOT_OK(result.status);
-  if (stats != nullptr) stats->Accumulate(result);
+      JobResult result,
+      SpatialJobBuilder(runner)
+          .Name("range-query-hadoop")
+          .ScanFile(path)
+          .Map([shape, query]() {
+            return std::make_unique<HadoopRangeMapper>(shape, query);
+          })
+          .Run(stats));
   return std::move(result.output);
 }
 
 Result<std::vector<std::string>> RangeQuerySpatial(
     mapreduce::JobRunner* runner, const index::SpatialFileInfo& file,
     const Envelope& query, OpStats* stats) {
-  JobConfig job;
-  job.name = "range-query-spatial";
-  SHADOOP_ASSIGN_OR_RETURN(job.splits,
-                           SpatialSplits(file, RangeFilter(query)));
   const index::ShapeType shape = file.shape;
   const bool dedup = file.global_index.IsDisjoint();
-  job.mapper = [shape, query, dedup]() {
-    return std::make_unique<SpatialRangeMapper>(shape, query, dedup);
-  };
-  JobResult result = runner->Run(job);
-  SHADOOP_RETURN_NOT_OK(result.status);
-  if (stats != nullptr) stats->Accumulate(result);
+  SHADOOP_ASSIGN_OR_RETURN(
+      JobResult result,
+      SpatialJobBuilder(runner)
+          .Name("range-query-spatial")
+          .ScanIndexed(file, RangeFilter(query))
+          .Map([shape, query, dedup]() {
+            return std::make_unique<SpatialRangeMapper>(shape, query, dedup);
+          })
+          .Run(stats));
   return std::move(result.output);
 }
 

@@ -3,28 +3,25 @@
 #include <cmath>
 #include <memory>
 
-#include "core/spatial_file_splitter.h"
-#include "core/spatial_record_reader.h"
+#include "core/query_pipeline.h"
 #include "geometry/wkt.h"
 
 namespace shadoop::core {
 namespace {
 
-using mapreduce::JobConfig;
 using mapreduce::JobResult;
 using mapreduce::MapContext;
 
-class SkylineMapper : public mapreduce::Mapper {
+class SkylineMapper : public PartitionMapper {
  public:
-  SkylineMapper() : reader_(index::ShapeType::kPoint) {}
+  SkylineMapper()
+      : PartitionMapper(index::ShapeType::kPoint, /*parse_extent=*/false) {}
 
-  void Map(const std::string& record, MapContext& ctx) override {
-    (void)ctx;
-    reader_.Add(record);
-  }
-
-  void EndSplit(MapContext& ctx) override {
-    std::vector<Point> points = reader_.Points();
+ protected:
+  void Process(const SplitExtent& extent, PartitionView& view,
+               MapContext& ctx) override {
+    (void)extent;
+    std::vector<Point> points = view.Points();
     const size_t n = points.size();
     ctx.ChargeCpu(static_cast<uint64_t>(
         n > 1 ? n * std::log2(static_cast<double>(n)) * 20 : n));
@@ -32,11 +29,8 @@ class SkylineMapper : public mapreduce::Mapper {
       ctx.Emit("S", PointToCsv(p));
     }
     ctx.counters().Increment("skyline.bad_records",
-                             static_cast<int64_t>(reader_.bad_records()));
+                             static_cast<int64_t>(view.bad_records()));
   }
-
- private:
-  SpatialRecordReader reader_;
 };
 
 class SkylineReducer : public mapreduce::Reducer {
@@ -59,29 +53,18 @@ class SkylineReducer : public mapreduce::Reducer {
   }
 };
 
-Result<std::vector<Point>> RunSkylineJob(
-    mapreduce::JobRunner* runner, std::vector<mapreduce::InputSplit> splits,
-    const char* name, OpStats* stats) {
-  // Two-round merge: round 1 runs several reducers in parallel (each
-  // merges a share of the local skylines); round 2 is a master-side
-  // post-processing pass over the small surviving set, so no single
-  // reducer ever has to absorb every local skyline.
-  JobConfig job;
-  job.name = name;
-  job.splits = std::move(splits);
-  job.mapper = []() { return std::make_unique<SkylineMapper>(); };
-  job.reducer = []() { return std::make_unique<SkylineReducer>(); };
-  job.num_reducers =
-      std::min<int>(runner->cluster().num_slots,
-                    std::max<int>(1, static_cast<int>(job.splits.size()) / 4));
-  // Spread the constant-key groups across reducers round-robin.
-  int counter = 0;
-  job.partitioner = [counter](const std::string&, int reducers) mutable {
-    return counter++ % reducers;
-  };
-  JobResult result = runner->Run(job);
-  SHADOOP_RETURN_NOT_OK(result.status);
-  if (stats != nullptr) stats->Accumulate(result);
+/// Two-round merge: round 1 runs several reducers in parallel (each
+/// merges a share of the local skylines); round 2 is a master-side
+/// post-processing pass over the small surviving set, so no single
+/// reducer ever has to absorb every local skyline.
+Result<std::vector<Point>> RunSkylineJob(SpatialJobBuilder& builder,
+                                         const char* name, OpStats* stats) {
+  SHADOOP_ASSIGN_OR_RETURN(
+      JobResult result,
+      builder.Name(name)
+          .Map([]() { return std::make_unique<SkylineMapper>(); })
+          .ParallelMerge([]() { return std::make_unique<SkylineReducer>(); })
+          .Run(stats));
   std::vector<Point> candidates;
   candidates.reserve(result.output.size());
   for (const std::string& line : result.output) {
@@ -155,29 +138,27 @@ std::vector<int> SkylinePartitionFilter(const index::GlobalIndex& gi,
 Result<std::vector<Point>> SkylineHadoop(mapreduce::JobRunner* runner,
                                          const std::string& path,
                                          OpStats* stats) {
-  SHADOOP_ASSIGN_OR_RETURN(
-      std::vector<mapreduce::InputSplit> splits,
-      mapreduce::MakeBlockSplits(*runner->file_system(), path));
-  return RunSkylineJob(runner, std::move(splits), "skyline-hadoop", stats);
+  SpatialJobBuilder builder(runner);
+  builder.ScanFile(path);
+  return RunSkylineJob(builder, "skyline-hadoop", stats);
 }
 
 Result<std::vector<Point>> SkylineSpatial(mapreduce::JobRunner* runner,
                                           const index::SpatialFileInfo& file,
                                           OpStats* stats) {
-  FilterFunction filter = [](const index::GlobalIndex& gi) {
+  SpatialJobBuilder builder(runner);
+  builder.ScanIndexed(file, [](const index::GlobalIndex& gi) {
     return SkylinePartitionFilter(gi, SkylineDominance::kMaxMax);
-  };
-  SHADOOP_ASSIGN_OR_RETURN(std::vector<mapreduce::InputSplit> splits,
-                           SpatialSplits(file, filter));
-  if (stats != nullptr) {
+  });
+  if (stats != nullptr && builder.plan_status().ok()) {
     stats->counters.Increment("skyline.partitions_processed",
-                              static_cast<int64_t>(splits.size()));
+                              static_cast<int64_t>(builder.NumSplits()));
     stats->counters.Increment(
         "skyline.partitions_pruned",
         static_cast<int64_t>(file.global_index.NumPartitions() -
-                             splits.size()));
+                             builder.NumSplits()));
   }
-  return RunSkylineJob(runner, std::move(splits), "skyline-spatial", stats);
+  return RunSkylineJob(builder, "skyline-spatial", stats);
 }
 
 }  // namespace shadoop::core

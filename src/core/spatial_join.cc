@@ -6,7 +6,7 @@
 #include "common/string_util.h"
 #include "core/file_mbr.h"
 #include "core/histogram_op.h"
-#include "core/spatial_file_splitter.h"
+#include "core/query_pipeline.h"
 #include "core/spatial_record_reader.h"
 #include "geometry/wkt.h"
 #include "index/grid_partitioner.h"
@@ -16,7 +16,6 @@
 namespace shadoop::core {
 namespace {
 
-using mapreduce::JobConfig;
 using mapreduce::JobResult;
 using mapreduce::MapContext;
 
@@ -184,60 +183,35 @@ class SjmrReducer : public mapreduce::Reducer {
 
 /// Map-only join of one partition pair. Block 0 of the split holds the A
 /// partition, block 1 the B partition.
-class DjMapper : public mapreduce::Mapper {
+class DjMapper : public PairPartitionMapper {
  public:
   DjMapper(index::ShapeType shape_a, index::ShapeType shape_b, bool dedup_a,
            bool dedup_b, LocalJoinAlgorithm algorithm)
-      : reader_a_(shape_a),
-        reader_b_(shape_b),
+      : PairPartitionMapper(shape_a, shape_b),
         dedup_a_(dedup_a),
         dedup_b_(dedup_b),
         algorithm_(algorithm) {}
 
-  void BeginSplit(MapContext& ctx) override {
-    const std::string& meta = ctx.split().meta;
-    const size_t bar = meta.find('|');
-    if (bar == std::string::npos) {
-      ctx.Fail(Status::ParseError("bad pair-split meta"));
-      return;
-    }
-    auto a = ParseSplitExtent(meta.substr(0, bar));
-    auto b = ParseSplitExtent(meta.substr(bar + 1));
-    if (!a.ok() || !b.ok()) {
-      ctx.Fail(a.ok() ? b.status() : a.status());
-      return;
-    }
-    extent_a_ = a.value();
-    extent_b_ = b.value();
-  }
-
-  void BeginBlock(size_t ordinal, MapContext& ctx) override {
-    (void)ctx;
-    current_block_ = ordinal;
-  }
-
-  void Map(const std::string& record, MapContext& ctx) override {
-    (void)ctx;
-    (current_block_ == 0 ? reader_a_ : reader_b_).Add(record);
-  }
-
-  void EndSplit(MapContext& ctx) override {
-    auto accept = [this](const Point& ref) {
+ protected:
+  void Process(const SplitExtent& extent_a, const SplitExtent& extent_b,
+               PartitionView& view_a, PartitionView& view_b,
+               MapContext& ctx) override {
+    auto accept = [this, &extent_a, &extent_b](const Point& ref) {
       if (dedup_a_) {
-        const bool right = extent_a_.cell.max_x() >= extent_a_.file_mbr.max_x();
-        const bool top = extent_a_.cell.max_y() >= extent_a_.file_mbr.max_y();
-        if (!extent_a_.cell.ContainsHalfOpen(ref, right, top)) return false;
+        const bool right = extent_a.cell.max_x() >= extent_a.file_mbr.max_x();
+        const bool top = extent_a.cell.max_y() >= extent_a.file_mbr.max_y();
+        if (!extent_a.cell.ContainsHalfOpen(ref, right, top)) return false;
       }
       if (dedup_b_) {
-        const bool right = extent_b_.cell.max_x() >= extent_b_.file_mbr.max_x();
-        const bool top = extent_b_.cell.max_y() >= extent_b_.file_mbr.max_y();
-        if (!extent_b_.cell.ContainsHalfOpen(ref, right, top)) return false;
+        const bool right = extent_b.cell.max_x() >= extent_b.file_mbr.max_x();
+        const bool top = extent_b.cell.max_y() >= extent_b.file_mbr.max_y();
+        if (!extent_b.cell.ContainsHalfOpen(ref, right, top)) return false;
       }
       return true;
     };
     const uint64_t cpu = LocalJoin(
-        reader_a_.shape(), reader_a_.records(), reader_a_.Envelopes(),
-        reader_b_.shape(), reader_b_.records(), reader_b_.Envelopes(),
+        view_a.shape(), view_a.records(), view_a.Envelopes(),
+        view_b.shape(), view_b.records(), view_b.Envelopes(),
         algorithm_, accept,
         [&ctx](std::string line) {
           ctx.WriteOutput(std::move(line));
@@ -247,14 +221,9 @@ class DjMapper : public mapreduce::Mapper {
   }
 
  private:
-  SpatialRecordReader reader_a_;
-  SpatialRecordReader reader_b_;
   bool dedup_a_;
   bool dedup_b_;
   LocalJoinAlgorithm algorithm_;
-  SplitExtent extent_a_;
-  SplitExtent extent_b_;
-  size_t current_block_ = 0;
 };
 
 }  // namespace
@@ -317,36 +286,29 @@ Result<std::vector<std::string>> SjmrJoin(mapreduce::JobRunner* runner,
     SHADOOP_RETURN_NOT_OK(grid->Construct(space, {}, target_cells));
   }
 
-  JobConfig job;
-  job.name = "sjmr";
-  SHADOOP_ASSIGN_OR_RETURN(std::vector<mapreduce::InputSplit> splits_a,
-                           mapreduce::MakeBlockSplits(*fs, path_a));
-  SHADOOP_ASSIGN_OR_RETURN(std::vector<mapreduce::InputSplit> splits_b,
-                           mapreduce::MakeBlockSplits(*fs, path_b));
-  for (mapreduce::InputSplit& s : splits_a) s.meta = "A";
-  for (mapreduce::InputSplit& s : splits_b) s.meta = "B";
-  job.splits = std::move(splits_a);
-  job.splits.insert(job.splits.end(),
-                    std::make_move_iterator(splits_b.begin()),
-                    std::make_move_iterator(splits_b.end()));
   std::shared_ptr<const index::Partitioner> grid_const = grid;
-  job.mapper = [shape_a, shape_b, grid_const]() {
-    return std::make_unique<SjmrMapper>(shape_a, shape_b, grid_const);
-  };
   const double space_max_x = space.max_x();
   const double space_max_y = space.max_y();
   const LocalJoinAlgorithm algorithm = options.local_algorithm;
-  job.reducer = [shape_a, shape_b, grid_const, space_max_x, space_max_y,
-                 algorithm]() {
-    auto reducer = std::make_unique<SjmrReducer>(shape_a, shape_b, grid_const,
-                                                 algorithm);
-    reducer->SetSpaceMax(space_max_x, space_max_y);
-    return reducer;
-  };
-  job.num_reducers = runner->cluster().num_slots;
-  JobResult result = runner->Run(job);
-  SHADOOP_RETURN_NOT_OK(result.status);
-  if (stats != nullptr) stats->Accumulate(result);
+  SHADOOP_ASSIGN_OR_RETURN(
+      JobResult result,
+      SpatialJobBuilder(runner)
+          .Name("sjmr")
+          .ScanFile(path_a, "A")
+          .ScanFile(path_b, "B")
+          .Map([shape_a, shape_b, grid_const]() {
+            return std::make_unique<SjmrMapper>(shape_a, shape_b, grid_const);
+          })
+          .Reduce(
+              [shape_a, shape_b, grid_const, space_max_x, space_max_y,
+               algorithm]() {
+                auto reducer = std::make_unique<SjmrReducer>(
+                    shape_a, shape_b, grid_const, algorithm);
+                reducer->SetSpaceMax(space_max_x, space_max_y);
+                return reducer;
+              },
+              runner->cluster().num_slots)
+          .Run(stats));
   return std::move(result.output);
 }
 
@@ -355,28 +317,25 @@ Result<std::vector<std::string>> DistributedJoin(
     const index::SpatialFileInfo& file_b, OpStats* stats,
     const DjOptions& options) {
   // Global join: overlapping partition pairs from the two master files.
-  std::vector<std::pair<int, int>> pairs;
-  for (const index::Partition& pa : file_a.global_index.partitions()) {
-    for (const index::Partition& pb : file_b.global_index.partitions()) {
-      if (pa.mbr.Intersects(pb.mbr)) pairs.emplace_back(pa.id, pb.id);
-    }
-  }
+  const std::vector<std::pair<int, int>> pairs =
+      index::OverlappingPartitionPairs(file_a.global_index,
+                                       file_b.global_index);
 
-  JobConfig job;
-  job.name = "distributed-join";
-  SHADOOP_ASSIGN_OR_RETURN(job.splits, PairSplits(file_a, file_b, pairs));
   const index::ShapeType shape_a = file_a.shape;
   const index::ShapeType shape_b = file_b.shape;
   const bool dedup_a = file_a.global_index.IsDisjoint();
   const bool dedup_b = file_b.global_index.IsDisjoint();
   const LocalJoinAlgorithm algorithm = options.local_algorithm;
-  job.mapper = [shape_a, shape_b, dedup_a, dedup_b, algorithm]() {
-    return std::make_unique<DjMapper>(shape_a, shape_b, dedup_a, dedup_b,
-                                      algorithm);
-  };
-  JobResult result = runner->Run(job);
-  SHADOOP_RETURN_NOT_OK(result.status);
-  if (stats != nullptr) stats->Accumulate(result);
+  SHADOOP_ASSIGN_OR_RETURN(
+      JobResult result,
+      SpatialJobBuilder(runner)
+          .Name("distributed-join")
+          .ScanPartitionPairs(file_a, file_b, pairs)
+          .Map([shape_a, shape_b, dedup_a, dedup_b, algorithm]() {
+            return std::make_unique<DjMapper>(shape_a, shape_b, dedup_a,
+                                              dedup_b, algorithm);
+          })
+          .Run(stats));
   return std::move(result.output);
 }
 

@@ -4,8 +4,7 @@
 #include <memory>
 
 #include "common/string_util.h"
-#include "core/spatial_file_splitter.h"
-#include "core/spatial_record_reader.h"
+#include "core/query_pipeline.h"
 #include "geometry/polygon_clip.h"
 #include "geometry/polygon_union.h"
 #include "geometry/wkt.h"
@@ -13,7 +12,6 @@
 namespace shadoop::core {
 namespace {
 
-using mapreduce::JobConfig;
 using mapreduce::JobResult;
 using mapreduce::MapContext;
 
@@ -61,45 +59,29 @@ class HadoopUnionReducer : public mapreduce::Reducer {
 
 /// Enhanced union: local union boundary clipped to the partition cell;
 /// map-only.
-class EnhancedUnionMapper : public mapreduce::Mapper {
+class EnhancedUnionMapper : public PartitionMapper {
  public:
-  EnhancedUnionMapper() : reader_(index::ShapeType::kPolygon) {}
+  EnhancedUnionMapper() : PartitionMapper(index::ShapeType::kPolygon) {}
 
-  void BeginSplit(MapContext& ctx) override {
-    auto extent = ParseSplitExtent(ctx.split().meta);
-    if (!extent.ok()) {
-      ctx.Fail(extent.status());
-      return;
-    }
-    cell_ = extent.value().cell;
-  }
-
-  void Map(const std::string& record, MapContext& ctx) override {
-    (void)ctx;
-    reader_.Add(record);
-  }
-
-  void EndSplit(MapContext& ctx) override {
-    std::vector<Polygon> polygons = reader_.Polygons();
+ protected:
+  void Process(const SplitExtent& extent, PartitionView& view,
+               MapContext& ctx) override {
+    std::vector<Polygon> polygons = view.Polygons();
     ctx.ChargeCpu(UnionCpuOps(polygons));
     size_t kept = 0;
     for (const Segment& s : UnionBoundary(polygons)) {
       // Pruning step: keep only the portion inside this cell. Every
       // boundary segment is inside exactly one cell (cells tile space),
       // so the global output is the concatenation of all map outputs.
-      if (auto clipped = ClipSegmentToBox(s, cell_)) {
+      if (auto clipped = ClipSegmentToBox(s, extent.cell)) {
         ctx.WriteOutput(SegmentToCsv(*clipped));
         ++kept;
       }
     }
     ctx.counters().Increment("union.segments", static_cast<int64_t>(kept));
     ctx.counters().Increment("union.bad_records",
-                             static_cast<int64_t>(reader_.bad_records()));
+                             static_cast<int64_t>(view.bad_records()));
   }
-
- private:
-  SpatialRecordReader reader_;
-  Envelope cell_;
 };
 
 Result<std::vector<Segment>> ParseSegments(
@@ -136,16 +118,14 @@ Result<Segment> ParseSegmentCsv(std::string_view text) {
 Result<std::vector<Segment>> UnionHadoop(mapreduce::JobRunner* runner,
                                          const std::string& path,
                                          OpStats* stats) {
-  JobConfig job;
-  job.name = "union-hadoop";
   SHADOOP_ASSIGN_OR_RETURN(
-      job.splits, mapreduce::MakeBlockSplits(*runner->file_system(), path));
-  job.mapper = []() { return std::make_unique<HadoopUnionMapper>(); };
-  job.reducer = []() { return std::make_unique<HadoopUnionReducer>(); };
-  job.num_reducers = 1;
-  JobResult result = runner->Run(job);
-  SHADOOP_RETURN_NOT_OK(result.status);
-  if (stats != nullptr) stats->Accumulate(result);
+      JobResult result,
+      SpatialJobBuilder(runner)
+          .Name("union-hadoop")
+          .ScanFile(path)
+          .Map([]() { return std::make_unique<HadoopUnionMapper>(); })
+          .Reduce([]() { return std::make_unique<HadoopUnionReducer>(); })
+          .Run(stats));
   return ParseSegments(result.output);
 }
 
@@ -157,13 +137,13 @@ Result<std::vector<Segment>> UnionSpatialEnhanced(
         "enhanced union requires a disjoint replicating index; got " +
         std::string(index::PartitionSchemeName(file.global_index.scheme())));
   }
-  JobConfig job;
-  job.name = "union-enhanced";
-  SHADOOP_ASSIGN_OR_RETURN(job.splits, SpatialSplits(file, KeepAllFilter));
-  job.mapper = []() { return std::make_unique<EnhancedUnionMapper>(); };
-  JobResult result = runner->Run(job);
-  SHADOOP_RETURN_NOT_OK(result.status);
-  if (stats != nullptr) stats->Accumulate(result);
+  SHADOOP_ASSIGN_OR_RETURN(
+      JobResult result,
+      SpatialJobBuilder(runner)
+          .Name("union-enhanced")
+          .ScanIndexed(file)
+          .Map([]() { return std::make_unique<EnhancedUnionMapper>(); })
+          .Run(stats));
   return ParseSegments(result.output);
 }
 

@@ -7,6 +7,17 @@
 
 namespace shadoop::index {
 
+std::vector<std::pair<int, int>> OverlappingPartitionPairs(
+    const GlobalIndex& a, const GlobalIndex& b) {
+  std::vector<std::pair<int, int>> pairs;
+  for (const Partition& pa : a.partitions()) {
+    for (const Partition& pb : b.partitions()) {
+      if (pa.mbr.Intersects(pb.mbr)) pairs.emplace_back(pa.id, pb.id);
+    }
+  }
+  return pairs;
+}
+
 Envelope GlobalIndex::Bounds() const {
   Envelope bounds;
   for (const Partition& p : partitions_) bounds.ExpandToInclude(p.mbr);

@@ -2,6 +2,7 @@
 #define SHADOOP_INDEX_GLOBAL_INDEX_H_
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
@@ -48,6 +49,12 @@ class GlobalIndex {
   PartitionScheme scheme_ = PartitionScheme::kNone;
   std::vector<Partition> partitions_;
 };
+
+/// Partition pairs (a_id, b_id) whose MBRs intersect — the global-join
+/// step of the distributed spatial join, run master-side over the two
+/// master files before any block is read.
+std::vector<std::pair<int, int>> OverlappingPartitionPairs(
+    const GlobalIndex& a, const GlobalIndex& b);
 
 }  // namespace shadoop::index
 

@@ -6,6 +6,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/status.h"
@@ -49,20 +50,29 @@ struct InputSplit {
 /// runner merges after the phase, so no locking is needed in user code.
 class Counters {
  public:
-  void Increment(const std::string& name, int64_t delta = 1) {
-    values_[name] += delta;
+  /// Heterogeneous lookup (std::less<> map): incrementing with a string
+  /// literal or string_view allocates only when the counter is first seen.
+  void Increment(std::string_view name, int64_t delta = 1) {
+    auto it = values_.find(name);
+    if (it == values_.end()) {
+      values_.emplace(std::string(name), delta);
+    } else {
+      it->second += delta;
+    }
   }
-  int64_t Get(const std::string& name) const {
+  int64_t Get(std::string_view name) const {
     auto it = values_.find(name);
     return it == values_.end() ? 0 : it->second;
   }
   void MergeFrom(const Counters& other) {
-    for (const auto& [name, value] : other.values_) values_[name] += value;
+    for (const auto& [name, value] : other.values_) Increment(name, value);
   }
-  const std::map<std::string, int64_t>& values() const { return values_; }
+  const std::map<std::string, int64_t, std::less<>>& values() const {
+    return values_;
+  }
 
  private:
-  std::map<std::string, int64_t> values_;
+  std::map<std::string, int64_t, std::less<>> values_;
 };
 
 /// Context handed to map tasks. Emit() feeds the shuffle; WriteOutput()

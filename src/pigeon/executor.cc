@@ -153,17 +153,18 @@ Result<Dataset> Executor::Eval(const Expr& expr, ExecutionReport* report) {
     }
     case Expr::Kind::kCount: {
       SHADOOP_ASSIGN_OR_RETURN(Dataset source, LookUp(expr.source, expr.line));
-      int64_t count = 0;
-      if (source.kind == Dataset::Kind::kIndexed) {
-        SHADOOP_ASSIGN_OR_RETURN(
-            count,
-            core::RangeCountSpatial(runner_, *source.info, expr.range, stats));
-      } else {
-        SHADOOP_ASSIGN_OR_RETURN(std::string path, EnsureFile(source));
-        SHADOOP_ASSIGN_OR_RETURN(
-            count, core::RangeCountHadoop(runner_, path, source.shape,
-                                          expr.range, stats));
-      }
+      SHADOOP_ASSIGN_OR_RETURN(
+          int64_t count,
+          Dispatch(
+              source,
+              [&](const index::SpatialFileInfo& info) {
+                return core::RangeCountSpatial(runner_, info, expr.range,
+                                               stats);
+              },
+              [&](const std::string& path) {
+                return core::RangeCountHadoop(runner_, path, source.shape,
+                                              expr.range, stats);
+              }));
       Dataset result;
       result.kind = Dataset::Kind::kLines;
       result.lines = {std::to_string(count)};
@@ -203,31 +204,34 @@ Result<Dataset> Executor::Eval(const Expr& expr, ExecutionReport* report) {
       Dataset result;
       result.kind = Dataset::Kind::kLines;
       result.shape = source.shape;
-      if (source.kind == Dataset::Kind::kIndexed) {
-        SHADOOP_ASSIGN_OR_RETURN(
-            result.lines,
-            core::RangeQuerySpatial(runner_, *source.info, expr.range, stats));
-      } else {
-        SHADOOP_ASSIGN_OR_RETURN(std::string path, EnsureFile(source));
-        SHADOOP_ASSIGN_OR_RETURN(
-            result.lines, core::RangeQueryHadoop(runner_, path, source.shape,
-                                                 expr.range, stats));
-      }
+      SHADOOP_ASSIGN_OR_RETURN(
+          result.lines,
+          Dispatch(
+              source,
+              [&](const index::SpatialFileInfo& info) {
+                return core::RangeQuerySpatial(runner_, info, expr.range,
+                                               stats);
+              },
+              [&](const std::string& path) {
+                return core::RangeQueryHadoop(runner_, path, source.shape,
+                                              expr.range, stats);
+              }));
       return result;
     }
     case Expr::Kind::kKnn: {
       SHADOOP_ASSIGN_OR_RETURN(Dataset source, LookUp(expr.source, expr.line));
-      std::vector<core::KnnAnswer> answers;
-      if (source.kind == Dataset::Kind::kIndexed) {
-        SHADOOP_ASSIGN_OR_RETURN(
-            answers,
-            core::KnnSpatial(runner_, *source.info, expr.query, expr.k, stats));
-      } else {
-        SHADOOP_ASSIGN_OR_RETURN(std::string path, EnsureFile(source));
-        SHADOOP_ASSIGN_OR_RETURN(
-            answers, core::KnnHadoop(runner_, path, source.shape, expr.query,
-                                     expr.k, stats));
-      }
+      SHADOOP_ASSIGN_OR_RETURN(
+          std::vector<core::KnnAnswer> answers,
+          Dispatch(
+              source,
+              [&](const index::SpatialFileInfo& info) {
+                return core::KnnSpatial(runner_, info, expr.query, expr.k,
+                                        stats);
+              },
+              [&](const std::string& path) {
+                return core::KnnHadoop(runner_, path, source.shape, expr.query,
+                                       expr.k, stats);
+              }));
       Dataset result;
       result.kind = Dataset::Kind::kLines;
       result.shape = source.shape;
@@ -281,15 +285,16 @@ Result<Dataset> Executor::Eval(const Expr& expr, ExecutionReport* report) {
     }
     case Expr::Kind::kSkyline: {
       SHADOOP_ASSIGN_OR_RETURN(Dataset source, LookUp(expr.source, expr.line));
-      std::vector<Point> skyline;
-      if (source.kind == Dataset::Kind::kIndexed) {
-        SHADOOP_ASSIGN_OR_RETURN(
-            skyline, core::SkylineSpatial(runner_, *source.info, stats));
-      } else {
-        SHADOOP_ASSIGN_OR_RETURN(std::string path, EnsureFile(source));
-        SHADOOP_ASSIGN_OR_RETURN(skyline,
-                                 core::SkylineHadoop(runner_, path, stats));
-      }
+      SHADOOP_ASSIGN_OR_RETURN(
+          std::vector<Point> skyline,
+          Dispatch(
+              source,
+              [&](const index::SpatialFileInfo& info) {
+                return core::SkylineSpatial(runner_, info, stats);
+              },
+              [&](const std::string& path) {
+                return core::SkylineHadoop(runner_, path, stats);
+              }));
       Dataset result;
       result.kind = Dataset::Kind::kLines;
       result.lines = PointsToLines(skyline);
@@ -297,15 +302,16 @@ Result<Dataset> Executor::Eval(const Expr& expr, ExecutionReport* report) {
     }
     case Expr::Kind::kConvexHull: {
       SHADOOP_ASSIGN_OR_RETURN(Dataset source, LookUp(expr.source, expr.line));
-      std::vector<Point> hull;
-      if (source.kind == Dataset::Kind::kIndexed) {
-        SHADOOP_ASSIGN_OR_RETURN(
-            hull, core::ConvexHullSpatial(runner_, *source.info, stats));
-      } else {
-        SHADOOP_ASSIGN_OR_RETURN(std::string path, EnsureFile(source));
-        SHADOOP_ASSIGN_OR_RETURN(hull,
-                                 core::ConvexHullHadoop(runner_, path, stats));
-      }
+      SHADOOP_ASSIGN_OR_RETURN(
+          std::vector<Point> hull,
+          Dispatch(
+              source,
+              [&](const index::SpatialFileInfo& info) {
+                return core::ConvexHullSpatial(runner_, info, stats);
+              },
+              [&](const std::string& path) {
+                return core::ConvexHullHadoop(runner_, path, stats);
+              }));
       Dataset result;
       result.kind = Dataset::Kind::kLines;
       result.lines = PointsToLines(hull);
@@ -328,15 +334,16 @@ Result<Dataset> Executor::Eval(const Expr& expr, ExecutionReport* report) {
     }
     case Expr::Kind::kFarthestPair: {
       SHADOOP_ASSIGN_OR_RETURN(Dataset source, LookUp(expr.source, expr.line));
-      PointPair pair;
-      if (source.kind == Dataset::Kind::kIndexed) {
-        SHADOOP_ASSIGN_OR_RETURN(
-            pair, core::FarthestPairSpatial(runner_, *source.info, stats));
-      } else {
-        SHADOOP_ASSIGN_OR_RETURN(std::string path, EnsureFile(source));
-        SHADOOP_ASSIGN_OR_RETURN(
-            pair, core::FarthestPairHadoop(runner_, path, stats));
-      }
+      SHADOOP_ASSIGN_OR_RETURN(
+          PointPair pair,
+          Dispatch(
+              source,
+              [&](const index::SpatialFileInfo& info) {
+                return core::FarthestPairSpatial(runner_, info, stats);
+              },
+              [&](const std::string& path) {
+                return core::FarthestPairHadoop(runner_, path, stats);
+              }));
       Dataset result;
       result.kind = Dataset::Kind::kLines;
       result.lines = {PointToCsv(pair.first), PointToCsv(pair.second)};
@@ -347,17 +354,19 @@ Result<Dataset> Executor::Eval(const Expr& expr, ExecutionReport* report) {
       if (source.shape != index::ShapeType::kPolygon) {
         return ErrorAt(expr.line, "UNION needs a polygon dataset");
       }
-      std::vector<Segment> segments;
-      if (source.kind == Dataset::Kind::kIndexed &&
-          source.info->global_index.IsDisjoint()) {
-        SHADOOP_ASSIGN_OR_RETURN(
-            segments,
-            core::UnionSpatialEnhanced(runner_, *source.info, stats));
-      } else {
-        SHADOOP_ASSIGN_OR_RETURN(std::string path, EnsureFile(source));
-        SHADOOP_ASSIGN_OR_RETURN(segments,
-                                 core::UnionHadoop(runner_, path, stats));
-      }
+      const bool disjoint = source.kind == Dataset::Kind::kIndexed &&
+                            source.info->global_index.IsDisjoint();
+      SHADOOP_ASSIGN_OR_RETURN(
+          std::vector<Segment> segments,
+          Dispatch(
+              source,
+              [&](const index::SpatialFileInfo& info) {
+                return core::UnionSpatialEnhanced(runner_, info, stats);
+              },
+              [&](const std::string& path) {
+                return core::UnionHadoop(runner_, path, stats);
+              },
+              /*allow_spatial=*/disjoint));
       Dataset result;
       result.kind = Dataset::Kind::kLines;
       for (const Segment& s : segments) {

@@ -59,6 +59,21 @@ class Executor {
   /// temporary file when needed) so it can feed another operation.
   Result<std::string> EnsureFile(const Dataset& dataset);
 
+  /// The physical-operator router behind every query expression: indexed
+  /// datasets run `spatial` (the pruned SpatialJobBuilder plan over the
+  /// global index), everything else is materialized as a file and runs
+  /// `hadoop` (the full-scan plan). `allow_spatial` lets an operation add
+  /// extra requirements on the index (e.g. UNION needs disjoint cells).
+  template <typename Spatial, typename Hadoop>
+  auto Dispatch(const Dataset& source, Spatial&& spatial, Hadoop&& hadoop,
+                bool allow_spatial = true) -> decltype(hadoop(std::string())) {
+    if (source.kind == Dataset::Kind::kIndexed && allow_spatial) {
+      return spatial(*source.info);
+    }
+    SHADOOP_ASSIGN_OR_RETURN(std::string path, EnsureFile(source));
+    return hadoop(path);
+  }
+
   mapreduce::JobRunner* runner_;
   std::map<std::string, Dataset> env_;
   int temp_counter_ = 0;

@@ -1,0 +1,383 @@
+#ifndef SHADOOP_TESTS_GOLDEN_WORKLOAD_H_
+#define SHADOOP_TESTS_GOLDEN_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "core/aggregate_op.h"
+#include "core/closest_pair_op.h"
+#include "core/convex_hull_op.h"
+#include "core/farthest_pair_op.h"
+#include "core/file_mbr.h"
+#include "core/histogram_op.h"
+#include "core/knn.h"
+#include "core/knn_join.h"
+#include "core/operation_skeleton.h"
+#include "core/range_query.h"
+#include "core/skyline_op.h"
+#include "core/spatial_join.h"
+#include "core/union_op.h"
+#include "geometry/wkt.h"
+#include "pigeon/executor.h"
+#include "test_util.h"
+
+namespace shadoop::testing {
+
+/// Runs every built-in operation (plus one Pigeon script) on a fixed
+/// seeded dataset and serializes rows, record-level counters, and the
+/// deterministic JobCost into a flat line list. The committed golden file
+/// (tests/golden/ops.golden) was captured from the pre-pipeline seed
+/// implementation; the parity test re-runs this workload and diffs —
+/// byte-identical output proves the query-pipeline refactor preserved
+/// every operation's results and cost accounting.
+class GoldenWorkload {
+ public:
+  std::vector<std::string> Run() {
+    TestCluster cluster;
+    lines_.clear();
+
+    // --- Fixed seeded datasets ------------------------------------
+    WritePoints(&cluster.fs, "/pts", 2400, workload::Distribution::kUniform,
+                42);
+    WritePoints(&cluster.fs, "/pts2", 1600,
+                workload::Distribution::kClustered, 7);
+    workload::RectGenOptions rect_options;
+    rect_options.centers.count = 500;
+    rect_options.centers.seed = 5;
+    rect_options.max_side_fraction = 0.02;
+    SHADOOP_CHECK_OK(
+        workload::WriteRectangleFile(&cluster.fs, "/rects", rect_options));
+    workload::RectGenOptions rect_options2;
+    rect_options2.centers.count = 400;
+    rect_options2.centers.seed = 9;
+    rect_options2.max_side_fraction = 0.02;
+    SHADOOP_CHECK_OK(
+        workload::WriteRectangleFile(&cluster.fs, "/rects2", rect_options2));
+    workload::PolygonGenOptions poly_options;
+    poly_options.centers.count = 300;
+    poly_options.centers.seed = 11;
+    poly_options.max_radius_fraction = 0.02;
+    SHADOOP_CHECK_OK(
+        workload::WritePolygonFile(&cluster.fs, "/polys", poly_options));
+
+    const auto str_file = BuildIndex(&cluster.runner, "/pts", "/pts.str",
+                                     index::PartitionScheme::kStr);
+    const auto grid_file = BuildIndex(&cluster.runner, "/pts", "/pts.grid",
+                                      index::PartitionScheme::kGrid);
+    const auto grid_file2 = BuildIndex(&cluster.runner, "/pts2", "/pts2.grid",
+                                       index::PartitionScheme::kGrid);
+    const auto poly_file =
+        BuildIndex(&cluster.runner, "/polys", "/polys.grid",
+                   index::PartitionScheme::kGrid, index::ShapeType::kPolygon);
+    const auto rect_file =
+        BuildIndex(&cluster.runner, "/rects", "/rects.grid",
+                   index::PartitionScheme::kGrid,
+                   index::ShapeType::kRectangle);
+    const auto rect_file2 =
+        BuildIndex(&cluster.runner, "/rects2", "/rects2.grid",
+                   index::PartitionScheme::kGrid,
+                   index::ShapeType::kRectangle);
+
+    const Envelope query(200000, 200000, 600000, 550000);
+    const Point q(500000, 500000);
+
+    // --- Range query ----------------------------------------------
+    {
+      core::OpStats stats;
+      auto rows = core::RangeQueryHadoop(&cluster.runner, "/pts",
+                                         index::ShapeType::kPoint, query,
+                                         &stats);
+      Record("range-query-hadoop", rows, stats);
+    }
+    {
+      core::OpStats stats;
+      auto rows =
+          core::RangeQuerySpatial(&cluster.runner, str_file, query, &stats);
+      Record("range-query-str", rows, stats);
+    }
+    {
+      core::OpStats stats;
+      auto rows =
+          core::RangeQuerySpatial(&cluster.runner, grid_file, query, &stats);
+      Record("range-query-grid", rows, stats);
+    }
+
+    // --- Range count (aggregate) ----------------------------------
+    {
+      core::OpStats stats;
+      auto count = core::RangeCountHadoop(&cluster.runner, "/pts",
+                                          index::ShapeType::kPoint, query,
+                                          &stats);
+      RecordScalar("range-count-hadoop", count, stats);
+    }
+    {
+      core::OpStats stats;
+      auto count =
+          core::RangeCountSpatial(&cluster.runner, grid_file, query, &stats);
+      RecordScalar("range-count-grid", count, stats);
+    }
+
+    // --- File MBR and histogram -----------------------------------
+    {
+      core::OpStats stats;
+      auto mbr = core::ComputeFileMbr(&cluster.runner, "/pts",
+                                      index::ShapeType::kPoint, &stats);
+      Record("file-mbr",
+             mbr.ok() ? Result<std::vector<std::string>>(
+                            std::vector<std::string>{EnvelopeToCsv(
+                                mbr.value())})
+                      : mbr.status(),
+             stats);
+    }
+    {
+      core::OpStats stats;
+      auto hist = core::ComputeGridHistogram(
+          &cluster.runner, "/pts", index::ShapeType::kPoint,
+          Envelope(0, 0, 1e6, 1e6), 8, 8, &stats);
+      std::vector<std::string> rows;
+      if (hist.ok()) {
+        for (int row = 0; row < 8; ++row) {
+          for (int col = 0; col < 8; ++col) {
+            if (hist.value().At(col, row) > 0) {
+              rows.push_back(std::to_string(row * 8 + col) + "=" +
+                             std::to_string(hist.value().At(col, row)));
+            }
+          }
+        }
+      }
+      Record("grid-histogram",
+             hist.ok() ? Result<std::vector<std::string>>(std::move(rows))
+                       : hist.status(),
+             stats);
+    }
+
+    // --- kNN ------------------------------------------------------
+    {
+      core::OpStats stats;
+      auto answers = core::KnnHadoop(&cluster.runner, "/pts",
+                                     index::ShapeType::kPoint, q, 7, &stats);
+      Record("knn-hadoop", KnnRows(answers), stats);
+    }
+    {
+      core::OpStats stats;
+      auto answers = core::KnnSpatial(&cluster.runner, grid_file, q, 7,
+                                      &stats);
+      Record("knn-grid", KnnRows(answers), stats);
+    }
+
+    // --- Joins ----------------------------------------------------
+    {
+      core::OpStats stats;
+      auto rows = core::SjmrJoin(&cluster.runner, "/rects",
+                                 index::ShapeType::kRectangle, "/rects2",
+                                 index::ShapeType::kRectangle, &stats);
+      Record("sjmr-join", rows, stats);
+    }
+    {
+      core::OpStats stats;
+      auto rows = core::DistributedJoin(&cluster.runner, rect_file,
+                                        rect_file2, &stats);
+      Record("distributed-join", rows, stats);
+    }
+    {
+      core::OpStats stats;
+      auto answers =
+          core::KnnJoinSpatial(&cluster.runner, grid_file2, grid_file, 3,
+                               &stats);
+      std::vector<std::string> rows;
+      if (answers.ok()) {
+        for (const core::KnnJoinAnswer& a : answers.value()) {
+          rows.push_back(a.left + "|" + a.right + "|" +
+                         FormatDouble(a.distance) + "|" +
+                         std::to_string(a.rank));
+        }
+      }
+      Record("knn-join",
+             answers.ok() ? Result<std::vector<std::string>>(std::move(rows))
+                          : answers.status(),
+             stats);
+    }
+
+    // --- Computational geometry ops -------------------------------
+    {
+      core::OpStats stats;
+      auto hull = core::ConvexHullHadoop(&cluster.runner, "/pts", &stats);
+      Record("convex-hull-hadoop", PointRows(hull), stats);
+    }
+    {
+      core::OpStats stats;
+      auto hull = core::ConvexHullSpatial(&cluster.runner, str_file, &stats);
+      Record("convex-hull-str", PointRows(hull), stats);
+    }
+    {
+      core::OpStats stats;
+      auto sky = core::SkylineHadoop(&cluster.runner, "/pts", &stats);
+      Record("skyline-hadoop", PointRows(sky), stats);
+    }
+    {
+      core::OpStats stats;
+      auto sky = core::SkylineSpatial(&cluster.runner, str_file, &stats);
+      Record("skyline-str", PointRows(sky), stats);
+    }
+    {
+      core::OpStats stats;
+      auto pair = core::ClosestPairSpatial(&cluster.runner, grid_file,
+                                           &stats);
+      Record("closest-pair", PairRows(pair), stats);
+    }
+    {
+      core::OpStats stats;
+      auto pair = core::FarthestPairHadoop(&cluster.runner, "/pts", &stats);
+      Record("farthest-pair-hadoop", PairRows(pair), stats);
+    }
+    {
+      core::OpStats stats;
+      auto pair = core::FarthestPairSpatial(&cluster.runner, grid_file,
+                                            &stats);
+      Record("farthest-pair-grid", PairRows(pair), stats);
+    }
+
+    // --- Union ----------------------------------------------------
+    {
+      core::OpStats stats;
+      auto segments = core::UnionHadoop(&cluster.runner, "/polys", &stats);
+      Record("union-hadoop", SegmentRows(segments), stats);
+    }
+    {
+      core::OpStats stats;
+      auto segments =
+          core::UnionSpatialEnhanced(&cluster.runner, poly_file, &stats);
+      Record("union-enhanced", SegmentRows(segments), stats);
+    }
+
+    // --- Operation skeleton ---------------------------------------
+    {
+      core::OpStats stats;
+      core::OperationSkeleton op;
+      op.name = "partition-counts";
+      op.local = [](const core::SplitExtent& extent,
+                    const std::vector<std::string>& records,
+                    core::LocalOutput* out) {
+        out->ChargeCpu(records.size() * 10);
+        out->ToMerge(EnvelopeToCsv(extent.cell) + "->" +
+                     std::to_string(records.size()));
+      };
+      op.merge = [](const std::vector<std::string>& candidates,
+                    std::vector<std::string>* final_out) {
+        std::vector<std::string> sorted = candidates;
+        std::sort(sorted.begin(), sorted.end());
+        for (std::string& row : sorted) final_out->push_back(std::move(row));
+      };
+      auto rows = core::RunOperation(&cluster.runner, grid_file, op, &stats);
+      Record("skeleton-partition-counts", rows, stats);
+    }
+
+    // --- Pigeon (language layer shares the execution path) --------
+    {
+      pigeon::Executor executor(&cluster.runner);
+      auto report = executor.Execute(
+          "pts = LOAD '/pts' AS POINT;\n"
+          "idx = INDEX pts WITH GRID INTO '/pts.pigeon';\n"
+          "hits = RANGE idx RECTANGLE(200000, 200000, 600000, 550000);\n"
+          "DUMP hits;\n");
+      std::vector<std::string> rows;
+      core::OpStats stats;
+      if (report.ok()) {
+        rows = report.value().dump_output;
+        stats = report.value().stats;
+      }
+      Record("pigeon-range",
+             report.ok() ? Result<std::vector<std::string>>(std::move(rows))
+                         : report.status(),
+             stats);
+    }
+
+    return lines_;
+  }
+
+ private:
+  static Result<std::vector<std::string>> KnnRows(
+      const Result<std::vector<core::KnnAnswer>>& answers) {
+    if (!answers.ok()) return answers.status();
+    std::vector<std::string> rows;
+    for (const core::KnnAnswer& a : answers.value()) {
+      rows.push_back(FormatDouble(a.distance) + "\t" + a.record);
+    }
+    return rows;
+  }
+
+  static Result<std::vector<std::string>> PointRows(
+      const Result<std::vector<Point>>& points) {
+    if (!points.ok()) return points.status();
+    std::vector<std::string> rows;
+    for (const Point& p : points.value()) rows.push_back(PointToCsv(p));
+    return rows;
+  }
+
+  static Result<std::vector<std::string>> PairRows(
+      const Result<PointPair>& pair) {
+    if (!pair.ok()) return pair.status();
+    return std::vector<std::string>{FormatDouble(pair.value().distance),
+                                    PointToCsv(pair.value().first),
+                                    PointToCsv(pair.value().second)};
+  }
+
+  static Result<std::vector<std::string>> SegmentRows(
+      const Result<std::vector<Segment>>& segments) {
+    if (!segments.ok()) return segments.status();
+    std::vector<std::string> rows;
+    for (const Segment& s : segments.value()) {
+      rows.push_back(core::SegmentToCsv(s));
+    }
+    return rows;
+  }
+
+  void Record(const std::string& op,
+              const Result<std::vector<std::string>>& rows,
+              const core::OpStats& stats) {
+    lines_.push_back("== " + op);
+    if (!rows.ok()) {
+      lines_.push_back("status: " + rows.status().ToString());
+      return;
+    }
+    for (const std::string& row : rows.value()) {
+      lines_.push_back("row: " + row);
+    }
+    RecordStats(stats);
+  }
+
+  void RecordScalar(const std::string& op, const Result<int64_t>& value,
+                    const core::OpStats& stats) {
+    Record(op,
+           value.ok() ? Result<std::vector<std::string>>(
+                            std::vector<std::string>{
+                                std::to_string(value.value())})
+                      : value.status(),
+           stats);
+  }
+
+  void RecordStats(const core::OpStats& stats) {
+    for (const auto& [name, value] : stats.counters.values()) {
+      lines_.push_back("counter: " + name + "=" + std::to_string(value));
+    }
+    const mapreduce::JobCost& c = stats.cost;
+    lines_.push_back(
+        "cost: total_ms=" + FormatDouble(c.total_ms) +
+        " map_ms=" + FormatDouble(c.map_makespan_ms) +
+        " shuffle_ms=" + FormatDouble(c.shuffle_ms) +
+        " reduce_ms=" + FormatDouble(c.reduce_makespan_ms) +
+        " read=" + std::to_string(c.bytes_read) +
+        " shuffled=" + std::to_string(c.bytes_shuffled) +
+        " written=" + std::to_string(c.bytes_written) +
+        " maps=" + std::to_string(c.num_map_tasks) +
+        " reduces=" + std::to_string(c.num_reduce_tasks) +
+        " jobs=" + std::to_string(stats.jobs_run));
+  }
+
+  std::vector<std::string> lines_;
+};
+
+}  // namespace shadoop::testing
+
+#endif  // SHADOOP_TESTS_GOLDEN_WORKLOAD_H_

@@ -1,0 +1,26 @@
+// Regenerates tests/golden/ops.golden, the per-operation parity baseline
+// used by parity_test. Run it only when an intentional behavior change
+// invalidates the baseline:
+//
+//   ./build/tools/golden_capture tests/golden/ops.golden
+
+#include <cstdio>
+#include <fstream>
+
+#include "golden_workload.h"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <output-file>\n", argv[0]);
+    return 2;
+  }
+  shadoop::testing::GoldenWorkload workload;
+  std::ofstream out(argv[1]);
+  if (!out) {
+    std::fprintf(stderr, "cannot open '%s'\n", argv[1]);
+    return 1;
+  }
+  for (const std::string& line : workload.Run()) out << line << "\n";
+  std::printf("wrote %s\n", argv[1]);
+  return 0;
+}
