@@ -76,7 +76,7 @@ BENCHMARK(BM_SampleRatio)
 /// reducer (what a naive MapReduce port would do).
 class ForwardAllMapper : public mapreduce::Mapper {
  public:
-  void Map(const std::string& record, mapreduce::MapContext& ctx) override {
+  void Map(std::string_view record, mapreduce::MapContext& ctx) override {
     ctx.Emit("S", record);
   }
 };

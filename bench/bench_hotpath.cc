@@ -1,0 +1,393 @@
+// Wall-clock microbenchmarks for the zero-copy record fast path: index
+// build, range query over a local-indexed file, and the polygon
+// distributed join. Unlike the simulated-cost suite (bench_*.cc on
+// google-benchmark), this harness measures *real* wall time, because the
+// zero-copy work changes host performance, not the simulated cost model.
+//
+// Usage:
+//   bench_hotpath --label <name> [--out results.json] [--reps N]
+//   bench_hotpath --merge baseline.json current.json
+//
+// The merge mode pairs benchmarks by name, computes speedups, prints the
+// combined report (scripts/bench.sh redirects it to BENCH_pr2.json), and
+// exits non-zero if the parse-once invariant failed: in a tree with
+// parse counters, each benchmark asserts the number of geometry parses
+// never exceeds its record-visit bound. The harness intentionally
+// compiles against trees that predate the counters (the baseline build
+// in scripts/bench.sh), reporting parses as -1 there.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/range_query.h"
+#include "core/spatial_join.h"
+#include "index/index_builder.h"
+#include "index/record_shape.h"
+#include "mapreduce/job_runner.h"
+#include "workload/generators.h"
+
+namespace shadoop {
+namespace {
+
+constexpr size_t kIndexBuildPoints = 250000;
+constexpr size_t kRangeQueryPoints = 200000;
+constexpr int kRangeQueries = 48;
+constexpr size_t kJoinPolygonsA = 14000;
+constexpr size_t kJoinPolygonsB = 10000;
+// Dense overlay: each polygon intersects several partners, so the join's
+// refinement step visits every record many times — the regime the
+// parse-once columns are built for.
+constexpr double kJoinRadiusFraction = 0.03;
+
+struct BenchResult {
+  std::string name;
+  double wall_ms = 0;           // Best of `reps` repetitions.
+  int64_t records = 0;          // Record-visit bound for the run.
+  int64_t parses = -1;          // Geometry parses (-1: not measured).
+  int64_t checksum = 0;         // Result size, guards against dead code.
+};
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+int64_t ParseDelta(uint64_t before) {
+#ifdef SHADOOP_HAS_PARSE_COUNTERS
+  return static_cast<int64_t>(index::GeometryParseCount() - before);
+#else
+  (void)before;
+  return -1;
+#endif
+}
+
+uint64_t ParseSnapshot() {
+#ifdef SHADOOP_HAS_PARSE_COUNTERS
+  return index::GeometryParseCount();
+#else
+  return 0;
+#endif
+}
+
+/// The benchmark cluster mirrors bench_common.h: 64 KiB blocks, 25
+/// slots, so datasets span hundreds of blocks.
+struct Cluster {
+  Cluster() : fs(HdfsConfig()), runner(&fs, ClusterConfig()) {}
+
+  static hdfs::HdfsConfig HdfsConfig() {
+    hdfs::HdfsConfig config;
+    config.block_size = 64 * 1024;
+    config.num_datanodes = 25;
+    return config;
+  }
+  static mapreduce::ClusterConfig ClusterConfig() {
+    mapreduce::ClusterConfig config;
+    config.num_slots = 25;
+    return config;
+  }
+
+  hdfs::FileSystem fs;
+  mapreduce::JobRunner runner;
+};
+
+// ---------------------------------------------------------------------
+// Benchmarks. Fixed seeds throughout; each runs `reps` times and keeps
+// the fastest repetition (the least-noise estimate of the hot path).
+
+BenchResult BenchIndexBuild(int reps) {
+  BenchResult result;
+  result.name = "index_build";
+  Cluster cluster;
+  workload::PointGenOptions gen;
+  gen.count = kIndexBuildPoints;
+  gen.seed = 7;
+  gen.distribution = workload::Distribution::kClustered;
+  SHADOOP_CHECK_OK(workload::WritePointFile(&cluster.fs, "/pts", gen));
+
+  result.wall_ms = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < reps; ++rep) {
+    index::IndexBuilder builder(&cluster.runner);
+    index::IndexBuildOptions options;
+    options.scheme = index::PartitionScheme::kStr;
+    options.shape = index::ShapeType::kPoint;
+    const uint64_t parses_before = ParseSnapshot();
+    const auto start = std::chrono::steady_clock::now();
+    const auto info =
+        builder.Build("/pts", "/idx" + std::to_string(rep), options)
+            .ValueOrDie();
+    result.wall_ms = std::min(result.wall_ms, MsSince(start));
+    result.parses = ParseDelta(parses_before);
+    result.checksum = static_cast<int64_t>(info.global_index.NumPartitions());
+  }
+  // The build visits each record once per job phase that interprets
+  // geometry: the analysis scan, the partition map, and the master-side
+  // finalize pass over the partitioned output.
+  result.records = static_cast<int64_t>(kIndexBuildPoints) * 3;
+  return result;
+}
+
+BenchResult BenchRangeQuery(int reps) {
+  BenchResult result;
+  result.name = "range_query";
+  Cluster cluster;
+  workload::PointGenOptions gen;
+  gen.count = kRangeQueryPoints;
+  gen.seed = 11;
+  gen.distribution = workload::Distribution::kUniform;
+  SHADOOP_CHECK_OK(workload::WritePointFile(&cluster.fs, "/pts", gen));
+  index::IndexBuilder builder(&cluster.runner);
+  index::IndexBuildOptions options;
+  options.scheme = index::PartitionScheme::kStr;
+  options.shape = index::ShapeType::kPoint;
+  options.build_local_indexes = true;  // The #lidx fast path.
+  const auto file = builder.Build("/pts", "/pts.idx", options).ValueOrDie();
+
+  // A deterministic sweep of query windows (5% of each side) across the
+  // space; the partitions touched vary per query.
+  std::vector<Envelope> queries;
+  for (int i = 0; i < kRangeQueries; ++i) {
+    const double x = (i * 131) % 950000;
+    const double y = (i * 377) % 950000;
+    queries.emplace_back(x, y, x + 50000, y + 50000);
+  }
+
+  result.wall_ms = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < reps; ++rep) {
+    const uint64_t parses_before = ParseSnapshot();
+    size_t rows = 0;
+    const auto start = std::chrono::steady_clock::now();
+    for (const Envelope& query : queries) {
+      rows += core::RangeQuerySpatial(&cluster.runner, file, query)
+                  .ValueOrDie()
+                  .size();
+    }
+    result.wall_ms = std::min(result.wall_ms, MsSince(start));
+    result.parses = ParseDelta(parses_before);
+    result.checksum = static_cast<int64_t>(rows);
+  }
+  // With persisted local indexes every envelope comes from the #lidx
+  // header: a query sweep should parse nothing at all, but allow one
+  // parse per stored record per query for trees without the header
+  // fast path.
+  result.records =
+      static_cast<int64_t>(kRangeQueryPoints) * kRangeQueries;
+  return result;
+}
+
+BenchResult BenchSpatialJoin(int reps) {
+  BenchResult result;
+  result.name = "spatial_join";
+  Cluster cluster;
+  workload::PolygonGenOptions gen_a;
+  gen_a.centers.count = kJoinPolygonsA;
+  gen_a.centers.seed = 21;
+  gen_a.centers.distribution = workload::Distribution::kClustered;
+  gen_a.max_radius_fraction = kJoinRadiusFraction;
+  SHADOOP_CHECK_OK(workload::WritePolygonFile(&cluster.fs, "/a", gen_a));
+  workload::PolygonGenOptions gen_b = gen_a;
+  gen_b.centers.count = kJoinPolygonsB;
+  gen_b.centers.seed = 22;
+  SHADOOP_CHECK_OK(workload::WritePolygonFile(&cluster.fs, "/b", gen_b));
+
+  index::IndexBuilder builder(&cluster.runner);
+  index::IndexBuildOptions options;
+  options.scheme = index::PartitionScheme::kStr;
+  options.shape = index::ShapeType::kPolygon;
+  const auto file_a = builder.Build("/a", "/a.idx", options).ValueOrDie();
+  const auto file_b = builder.Build("/b", "/b.idx", options).ValueOrDie();
+
+  // Record-visit bound of the distributed join: each overlapping
+  // partition pair reads both partitions in full, once per pair.
+  int64_t pair_records = 0;
+  for (const index::Partition& pa : file_a.global_index.partitions()) {
+    for (const index::Partition& pb : file_b.global_index.partitions()) {
+      if (pa.mbr.Intersects(pb.mbr)) {
+        pair_records += static_cast<int64_t>(pa.num_records) +
+                        static_cast<int64_t>(pb.num_records);
+      }
+    }
+  }
+
+  result.wall_ms = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < reps; ++rep) {
+    const uint64_t parses_before = ParseSnapshot();
+    const auto start = std::chrono::steady_clock::now();
+    const auto rows =
+        core::DistributedJoin(&cluster.runner, file_a, file_b).ValueOrDie();
+    result.wall_ms = std::min(result.wall_ms, MsSince(start));
+    result.parses = ParseDelta(parses_before);
+    result.checksum = static_cast<int64_t>(rows.size());
+  }
+  result.records = pair_records;
+  return result;
+}
+
+// ---------------------------------------------------------------------
+// Ad-hoc JSON (one benchmark object per line, so the merge mode can
+// read it back with plain string scanning — no JSON library needed).
+
+std::string ToJson(const std::string& label,
+                   const std::vector<BenchResult>& results) {
+  std::ostringstream out;
+  out << "{\n  \"label\": \"" << label << "\",\n  \"benchmarks\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const BenchResult& r = results[i];
+    out << "    {\"name\": \"" << r.name << "\", \"wall_ms\": "
+        << r.wall_ms << ", \"records\": " << r.records
+        << ", \"parses\": " << r.parses << ", \"checksum\": " << r.checksum
+        << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  return out.str();
+}
+
+bool ExtractString(const std::string& text, const std::string& key,
+                   std::string* out) {
+  const std::string needle = "\"" + key + "\": \"";
+  const size_t at = text.find(needle);
+  if (at == std::string::npos) return false;
+  const size_t start = at + needle.size();
+  const size_t end = text.find('"', start);
+  if (end == std::string::npos) return false;
+  *out = text.substr(start, end - start);
+  return true;
+}
+
+bool ExtractNumber(const std::string& text, const std::string& key,
+                   double* out) {
+  const std::string needle = "\"" + key + "\": ";
+  const size_t at = text.find(needle);
+  if (at == std::string::npos) return false;
+  *out = std::strtod(text.c_str() + at + needle.size(), nullptr);
+  return true;
+}
+
+struct ParsedRun {
+  std::string label;
+  std::vector<BenchResult> benchmarks;
+};
+
+bool LoadRun(const std::string& path, ParsedRun* run) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "cannot open " << path << "\n";
+    return false;
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    std::string name;
+    if (run->label.empty()) ExtractString(line, "label", &run->label);
+    if (!ExtractString(line, "name", &name)) continue;
+    BenchResult r;
+    r.name = name;
+    double value = 0;
+    if (ExtractNumber(line, "wall_ms", &value)) r.wall_ms = value;
+    if (ExtractNumber(line, "records", &value)) {
+      r.records = static_cast<int64_t>(value);
+    }
+    if (ExtractNumber(line, "parses", &value)) {
+      r.parses = static_cast<int64_t>(value);
+    }
+    if (ExtractNumber(line, "checksum", &value)) {
+      r.checksum = static_cast<int64_t>(value);
+    }
+    run->benchmarks.push_back(std::move(r));
+  }
+  return !run->benchmarks.empty();
+}
+
+int Merge(const std::string& baseline_path, const std::string& current_path) {
+  ParsedRun baseline, current;
+  if (!LoadRun(baseline_path, &baseline) || !LoadRun(current_path, &current)) {
+    return 2;
+  }
+  bool parse_invariant_ok = true;
+  bool speedup_target_met = false;
+  std::ostringstream rows;
+  for (size_t i = 0; i < current.benchmarks.size(); ++i) {
+    const BenchResult& cur = current.benchmarks[i];
+    const BenchResult* base = nullptr;
+    for (const BenchResult& b : baseline.benchmarks) {
+      if (b.name == cur.name) base = &b;
+    }
+    if (base == nullptr) continue;
+    const double speedup = cur.wall_ms > 0 ? base->wall_ms / cur.wall_ms : 0;
+    if (speedup >= 2.0) speedup_target_met = true;
+    // The parse-once invariant only applies to the current tree (the
+    // baseline predates the counters and reports -1).
+    const bool parses_ok = cur.parses < 0 || cur.parses <= cur.records;
+    if (!parses_ok) parse_invariant_ok = false;
+    rows << "    {\"name\": \"" << cur.name << "\", \"baseline_wall_ms\": "
+         << base->wall_ms << ", \"wall_ms\": " << cur.wall_ms
+         << ", \"speedup\": " << speedup << ", \"records\": " << cur.records
+         << ", \"parses\": " << cur.parses << ", \"baseline_parses\": "
+         << base->parses << ", \"parse_once_ok\": "
+         << (parses_ok ? "true" : "false") << ", \"checksum\": "
+         << cur.checksum << ", \"baseline_checksum\": " << base->checksum
+         << "}" << (i + 1 < current.benchmarks.size() ? "," : "") << "\n";
+  }
+  std::cout << "{\n  \"bench\": \"zero-copy-hotpath\",\n"
+            << "  \"baseline\": \"" << baseline.label << "\",\n"
+            << "  \"current\": \"" << current.label << "\",\n"
+            << "  \"results\": [\n" << rows.str() << "  ],\n"
+            << "  \"parse_invariant_ok\": "
+            << (parse_invariant_ok ? "true" : "false") << ",\n"
+            << "  \"speedup_target_met\": "
+            << (speedup_target_met ? "true" : "false") << "\n}\n";
+  if (!parse_invariant_ok) {
+    std::cerr << "FAIL: geometry parses exceed records processed\n";
+    return 1;
+  }
+  return 0;
+}
+
+int RunAll(const std::string& label, const std::string& out_path, int reps) {
+  std::vector<BenchResult> results;
+  for (auto* bench : {&BenchIndexBuild, &BenchRangeQuery, &BenchSpatialJoin}) {
+    const BenchResult r = bench(reps);
+    std::cerr << r.name << ": " << r.wall_ms << " ms (parses=" << r.parses
+              << ", records=" << r.records << ")\n";
+    if (r.parses >= 0 && r.parses > r.records) {
+      std::cerr << "FAIL: " << r.name << " parsed " << r.parses
+                << " geometries for a bound of " << r.records << "\n";
+      return 1;
+    }
+    results.push_back(r);
+  }
+  const std::string json = ToJson(label, results);
+  if (out_path.empty()) {
+    std::cout << json;
+  } else {
+    std::ofstream out(out_path);
+    out << json;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace shadoop
+
+int main(int argc, char** argv) {
+  std::string label = "run";
+  std::string out_path;
+  int reps = 3;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--merge" && i + 2 < argc) {
+      return shadoop::Merge(argv[i + 1], argv[i + 2]);
+    }
+    if (arg == "--label" && i + 1 < argc) label = argv[++i];
+    if (arg == "--out" && i + 1 < argc) out_path = argv[++i];
+    if (arg == "--reps" && i + 1 < argc) reps = std::atoi(argv[++i]);
+  }
+  return shadoop::RunAll(label, out_path, reps);
+}

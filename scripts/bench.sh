@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Wall-clock benchmark of the zero-copy record fast path against a
+# baseline revision. Builds bench_hotpath in Release mode twice — once in
+# this tree, once in a detached worktree of the baseline ref (default:
+# HEAD~1) with the same harness source copied in — runs both with
+# identical fixed seeds, and merges the two reports into BENCH_pr2.json.
+#
+# Fails if the parse-once invariant is violated (geometry parses exceed
+# the record-visit bound of any benchmark in the current tree).
+#
+# Usage: scripts/bench.sh [baseline-ref]        (default: HEAD~1)
+#        REPS=5 OUT=my.json scripts/bench.sh    (env overrides)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BASELINE_REF="${1:-HEAD~1}"
+REPS="${REPS:-3}"
+OUT="${OUT:-BENCH_pr2.json}"
+BASELINE_DIR=".bench-baseline"
+
+echo "== building current tree (Release) =="
+cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build-bench -j "$(nproc)" --target bench_hotpath
+
+echo "== preparing baseline worktree (${BASELINE_REF}) =="
+git worktree remove --force "${BASELINE_DIR}" 2>/dev/null || true
+rm -rf "${BASELINE_DIR}"
+git worktree add --detach "${BASELINE_DIR}" "${BASELINE_REF}"
+trap 'git worktree remove --force "'"${BASELINE_DIR}"'" 2>/dev/null || true' EXIT
+
+# The harness itself rides along: it compiles against trees without the
+# parse counters (reporting parses as -1), so the baseline needs only
+# the source file and a target registration.
+cp bench/bench_hotpath.cc "${BASELINE_DIR}/bench/"
+if ! grep -q bench_hotpath "${BASELINE_DIR}/bench/CMakeLists.txt"; then
+  cat >> "${BASELINE_DIR}/bench/CMakeLists.txt" <<'EOF'
+
+add_executable(bench_hotpath bench_hotpath.cc)
+target_link_libraries(bench_hotpath PRIVATE
+  shadoop_core shadoop_index shadoop_mapreduce shadoop_hdfs
+  shadoop_geometry shadoop_workload shadoop_common Threads::Threads)
+EOF
+fi
+
+echo "== building baseline (Release) =="
+cmake -B "${BASELINE_DIR}/build-bench" -S "${BASELINE_DIR}" \
+  -DCMAKE_BUILD_TYPE=Release
+cmake --build "${BASELINE_DIR}/build-bench" -j "$(nproc)" \
+  --target bench_hotpath
+
+echo "== running baseline =="
+"${BASELINE_DIR}/build-bench/bench/bench_hotpath" \
+  --label "baseline-$(git rev-parse --short "${BASELINE_REF}")" \
+  --reps "${REPS}" --out build-bench/baseline.json
+
+echo "== running current =="
+./build-bench/bench/bench_hotpath \
+  --label "current-$(git rev-parse --short HEAD)" \
+  --reps "${REPS}" --out build-bench/current.json
+
+echo "== merging -> ${OUT} =="
+./build-bench/bench/bench_hotpath --merge \
+  build-bench/baseline.json build-bench/current.json > "${OUT}"
+cat "${OUT}"

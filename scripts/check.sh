@@ -16,4 +16,10 @@ cmake -B "${BUILD_DIR}" -S . \
   -DCMAKE_CXX_FLAGS="${SAN_FLAGS}" \
   -DCMAKE_EXE_LINKER_FLAGS="${SAN_FLAGS}"
 cmake --build "${BUILD_DIR}" -j "$(nproc)"
+
+# The zero-copy lifetime suite first and on its own: it holds record
+# views across arena growth/eviction, so a broken lifetime contract
+# must surface here as a sanitizer report before the full run.
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -R zero_copy_test
+
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)"

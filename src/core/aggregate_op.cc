@@ -33,7 +33,7 @@ class CountMapper : public mapreduce::Mapper {
     }
   }
 
-  void Map(const std::string& record, MapContext& ctx) override {
+  void Map(std::string_view record, MapContext& ctx) override {
     if (index::IsMetadataRecord(record)) return;
     auto env = index::RecordEnvelope(shape_, record);
     if (!env.ok()) {

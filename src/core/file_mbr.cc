@@ -12,7 +12,7 @@ class MbrMapper : public mapreduce::Mapper {
  public:
   explicit MbrMapper(index::ShapeType shape) : shape_(shape) {}
 
-  void Map(const std::string& record, mapreduce::MapContext& ctx) override {
+  void Map(std::string_view record, mapreduce::MapContext& ctx) override {
     if (index::IsMetadataRecord(record)) return;
     auto env = index::RecordEnvelope(shape_, record);
     if (!env.ok()) {

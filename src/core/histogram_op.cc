@@ -18,7 +18,7 @@ class HistogramMapper : public mapreduce::Mapper {
   HistogramMapper(index::ShapeType shape, GridHistogram grid)
       : shape_(shape), grid_(std::move(grid)) {}
 
-  void Map(const std::string& record, MapContext& ctx) override {
+  void Map(std::string_view record, MapContext& ctx) override {
     if (index::IsMetadataRecord(record)) return;
     auto env = index::RecordEnvelope(shape_, record);
     if (!env.ok()) {

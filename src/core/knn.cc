@@ -20,12 +20,12 @@ class TopK {
  public:
   explicit TopK(size_t k) : k_(k) {}
 
-  void Offer(double distance, const std::string& record) {
+  void Offer(double distance, std::string_view record) {
     if (heap_.size() < k_) {
-      heap_.push({distance, record});
+      heap_.push({distance, std::string(record)});
     } else if (!heap_.empty() && distance < heap_.top().first) {
       heap_.pop();
-      heap_.push({distance, record});
+      heap_.push({distance, std::string(record)});
     }
   }
 
@@ -57,7 +57,7 @@ class KnnMapper : public mapreduce::Mapper {
   KnnMapper(index::ShapeType shape, Point q, size_t k)
       : shape_(shape), q_(q), top_(k) {}
 
-  void Map(const std::string& record, MapContext& ctx) override {
+  void Map(std::string_view record, MapContext& ctx) override {
     if (index::IsMetadataRecord(record)) return;
     auto env = index::RecordEnvelope(shape_, record);
     if (!env.ok()) {

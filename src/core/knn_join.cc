@@ -112,17 +112,20 @@ class VerifyMapper : public KnnJoinMapper {
       ctx.ChargeCpu(k_ * 60);
       int rank = 0;
       for (uint32_t payload : neighbours) {
-        auto b_point = index::RecordPoint(view_b.records()[payload]);
-        if (!b_point.ok()) continue;
+        // Parse-once column lookup: candidates reached from several A
+        // records are never re-parsed.
+        const Point* b_point = view_b.PointAt(payload);
+        if (b_point == nullptr) continue;
         ++rank;
-        ctx.WriteOutput(view_a.records()[ai] +
-                        std::string(1, kJoinSeparator) +
-                        view_b.records()[payload] +
-                        std::string(1, kJoinSeparator) +
-                        FormatDouble(Distance(a_points[ai],
-                                              b_point.value())) +
-                        std::string(1, kJoinSeparator) +
-                        std::to_string(rank));
+        std::string line;
+        line.append(view_a.records()[ai]);
+        line.push_back(kJoinSeparator);
+        line.append(view_b.records()[payload]);
+        line.push_back(kJoinSeparator);
+        line.append(FormatDouble(Distance(a_points[ai], *b_point)));
+        line.push_back(kJoinSeparator);
+        line.append(std::to_string(rank));
+        ctx.WriteOutput(line);
       }
     }
   }

@@ -35,7 +35,11 @@ class SkeletonMapper : public PartitionMapper {
   void Process(const SplitExtent& extent, PartitionView& view,
                MapContext& ctx) override {
     LocalOutputImpl out(&ctx);
-    op_->local(extent, view.records(), &out);
+    // The public skeleton API takes owned strings, so user-defined
+    // operations never worry about record lifetimes; materialize here.
+    std::vector<std::string> records(view.records().begin(),
+                                     view.records().end());
+    op_->local(extent, records, &out);
   }
 
  private:

@@ -47,10 +47,12 @@ void PartitionMapper::BeginSplit(mapreduce::MapContext& ctx) {
   extent_ = extent.value();
 }
 
-void PartitionMapper::Map(const std::string& record,
+void PartitionMapper::Map(std::string_view record,
                           mapreduce::MapContext& ctx) {
   (void)ctx;
-  view_.Add(record);
+  // Record views stay valid through EndSplit (the runner pins the block
+  // bytes for the whole attempt), so buffering borrows — no copy.
+  view_.AddBorrowed(record);
 }
 
 void PartitionMapper::EndSplit(mapreduce::MapContext& ctx) {
@@ -87,10 +89,10 @@ void PairPartitionMapper::BeginBlock(size_t ordinal,
   in_a_ = ordinal == 0;
 }
 
-void PairPartitionMapper::Map(const std::string& record,
+void PairPartitionMapper::Map(std::string_view record,
                               mapreduce::MapContext& ctx) {
   (void)ctx;
-  (in_a_ ? view_a_ : view_b_).Add(record);
+  (in_a_ ? view_a_ : view_b_).AddBorrowed(record);
 }
 
 void PairPartitionMapper::EndSplit(mapreduce::MapContext& ctx) {
@@ -225,7 +227,7 @@ Result<mapreduce::JobResult> SpatialJobBuilder::Run(OpStats* stats) {
         std::max<int>(1, static_cast<int>(job.splits.size()) / 4));
     if (!job.partitioner) {
       int counter = 0;
-      job.partitioner = [counter](const std::string&, int reducers) mutable {
+      job.partitioner = [counter](std::string_view, int reducers) mutable {
         return counter++ % reducers;
       };
     }

@@ -44,12 +44,17 @@ class PartitionView {
  public:
   explicit PartitionView(index::ShapeType shape) : reader_(shape) {}
 
-  /// Feeds one raw record ('#'-metadata records are consumed silently).
-  void Add(std::string record) { reader_.Add(std::move(record)); }
+  /// Feeds one raw record, copied into the view's arena ('#'-metadata
+  /// records are consumed silently).
+  void Add(std::string_view record) { reader_.Add(record); }
+
+  /// Zero-copy variant for bytes that outlive the view — the partition
+  /// mappers borrow the runner's pinned block bytes this way.
+  void AddBorrowed(std::string_view record) { reader_.AddBorrowed(record); }
 
   index::ShapeType shape() const { return reader_.shape(); }
   size_t NumRecords() const { return reader_.NumRecords(); }
-  const std::vector<std::string>& records() const {
+  const std::vector<std::string_view>& records() const {
     return reader_.records();
   }
   size_t bad_records() const { return reader_.bad_records(); }
@@ -60,6 +65,16 @@ class PartitionView {
   std::vector<index::RTree::Entry> Envelopes() {
     return reader_.Envelopes();
   }
+
+  /// Parse-once column lookups (nullptr = record i is malformed); see
+  /// SpatialRecordReader. These never re-count bad_records().
+  const Envelope* EnvelopeAt(size_t i) { return reader_.EnvelopeAt(i); }
+  const Point* PointAt(size_t i) { return reader_.PointAt(i); }
+  const Polygon* PolygonAt(size_t i) { return reader_.PolygonAt(i); }
+
+  /// The wrapped reader, for kernels that operate on two record sets at
+  /// once (e.g. the join refinement step).
+  SpatialRecordReader& reader() { return reader_; }
 
   /// The memoized local R-tree. The first call bulk-loads it and charges
   /// `ctx` the build cost; later calls are free.
@@ -88,7 +103,7 @@ class PartitionMapper : public mapreduce::Mapper {
       : view_(shape), parse_extent_(parse_extent) {}
 
   void BeginSplit(mapreduce::MapContext& ctx) override;
-  void Map(const std::string& record, mapreduce::MapContext& ctx) override;
+  void Map(std::string_view record, mapreduce::MapContext& ctx) override;
   void EndSplit(mapreduce::MapContext& ctx) override;
 
  protected:
@@ -116,7 +131,7 @@ class PairPartitionMapper : public mapreduce::Mapper {
 
   void BeginSplit(mapreduce::MapContext& ctx) override;
   void BeginBlock(size_t ordinal, mapreduce::MapContext& ctx) override;
-  void Map(const std::string& record, mapreduce::MapContext& ctx) override;
+  void Map(std::string_view record, mapreduce::MapContext& ctx) override;
   void EndSplit(mapreduce::MapContext& ctx) override;
 
  protected:

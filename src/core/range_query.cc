@@ -15,7 +15,7 @@ class HadoopRangeMapper : public mapreduce::Mapper {
   HadoopRangeMapper(index::ShapeType shape, Envelope query)
       : shape_(shape), query_(query) {}
 
-  void Map(const std::string& record, MapContext& ctx) override {
+  void Map(std::string_view record, MapContext& ctx) override {
     if (index::IsMetadataRecord(record)) return;
     auto env = index::RecordEnvelope(shape_, record);
     if (!env.ok()) {
@@ -45,10 +45,11 @@ class SpatialRangeMapper : public PartitionMapper {
       if (deduplicate_) {
         // Reference-point technique: a record replicated to several
         // partitions is reported only by the partition owning the
-        // bottom-left corner of (record MBR ∩ query).
-        auto env = index::RecordEnvelope(view.shape(), view.records()[i]);
-        if (!env.ok()) continue;
-        const Point ref = env.value().Intersection(query_).BottomLeft();
+        // bottom-left corner of (record MBR ∩ query). The envelope comes
+        // from the view's parse-once column — no re-parse here.
+        const Envelope* env = view.EnvelopeAt(i);
+        if (env == nullptr) continue;
+        const Point ref = env->Intersection(query_).BottomLeft();
         const bool right_edge = extent.cell.max_x() >= extent.file_mbr.max_x();
         const bool top_edge = extent.cell.max_y() >= extent.file_mbr.max_y();
         if (!extent.cell.ContainsHalfOpen(ref, right_edge, top_edge)) {

@@ -20,17 +20,19 @@ using mapreduce::JobResult;
 using mapreduce::MapContext;
 
 /// True when the pair passes the join predicate: extents intersect, with
-/// exact refinement for polygon pairs.
-bool JoinMatch(index::ShapeType shape_a, const std::string& record_a,
-               const Envelope& env_a, index::ShapeType shape_b,
-               const std::string& record_b, const Envelope& env_b) {
+/// exact refinement for polygon pairs. The polygons come from the
+/// readers' parse-once columns, so a candidate appearing in many pairs
+/// is never re-parsed.
+bool JoinMatch(SpatialRecordReader& reader_a, uint32_t pa,
+               const Envelope& env_a, SpatialRecordReader& reader_b,
+               uint32_t pb, const Envelope& env_b) {
   if (!env_a.Intersects(env_b)) return false;
-  if (shape_a == index::ShapeType::kPolygon &&
-      shape_b == index::ShapeType::kPolygon) {
-    auto poly_a = index::RecordPolygon(record_a);
-    auto poly_b = index::RecordPolygon(record_b);
-    if (poly_a.ok() && poly_b.ok()) {
-      return poly_a.value().Intersects(poly_b.value());
+  if (reader_a.shape() == index::ShapeType::kPolygon &&
+      reader_b.shape() == index::ShapeType::kPolygon) {
+    const Polygon* poly_a = reader_a.PolygonAt(pa);
+    const Polygon* poly_b = reader_b.PolygonAt(pb);
+    if (poly_a != nullptr && poly_b != nullptr) {
+      return poly_a->Intersects(*poly_b);
     }
   }
   return true;
@@ -39,20 +41,18 @@ bool JoinMatch(index::ShapeType shape_a, const std::string& record_a,
 /// Joins two record sets with the selected in-memory kernel. Emits
 /// matched pairs that pass `accept_ref` (the duplicate-avoidance
 /// predicate over the pair's reference point). Returns charged CPU ops.
-uint64_t LocalJoin(index::ShapeType shape_a,
-                   const std::vector<std::string>& records_a,
+uint64_t LocalJoin(SpatialRecordReader& reader_a,
                    const std::vector<index::RTree::Entry>& entries_a,
-                   index::ShapeType shape_b,
-                   const std::vector<std::string>& records_b,
+                   SpatialRecordReader& reader_b,
                    const std::vector<index::RTree::Entry>& entries_b,
                    LocalJoinAlgorithm algorithm,
                    const std::function<bool(const Point&)>& accept_ref,
                    const std::function<void(std::string)>& emit) {
-  // Payload -> envelope lookup (payloads index records_*, but entries may
+  // Payload -> envelope lookup (payloads index records(), but entries may
   // skip malformed records, so positions and payloads differ).
-  std::vector<Envelope> env_of_a(records_a.size());
+  std::vector<Envelope> env_of_a(reader_a.NumRecords());
   for (const index::RTree::Entry& e : entries_a) env_of_a[e.payload] = e.box;
-  std::vector<Envelope> env_of_b(records_b.size());
+  std::vector<Envelope> env_of_b(reader_b.NumRecords());
   for (const index::RTree::Entry& e : entries_b) env_of_b[e.payload] = e.box;
 
   uint64_t refine_cpu = 0;
@@ -61,13 +61,18 @@ uint64_t LocalJoin(index::ShapeType shape_a,
       [&](uint32_t pa, uint32_t pb) {
         const Envelope& env_a = env_of_a[pa];
         const Envelope& env_b = env_of_b[pb];
-        const std::string& ra = records_a[pa];
-        const std::string& rb = records_b[pb];
         const Point ref = env_a.Intersection(env_b).BottomLeft();
         if (!accept_ref(ref)) return;
         refine_cpu += 200;
-        if (JoinMatch(shape_a, ra, env_a, shape_b, rb, env_b)) {
-          emit(ra + std::string(1, kJoinSeparator) + rb);
+        if (JoinMatch(reader_a, pa, env_a, reader_b, pb, env_b)) {
+          const std::string_view ra = reader_a.records()[pa];
+          const std::string_view rb = reader_b.records()[pb];
+          std::string line;
+          line.reserve(ra.size() + 1 + rb.size());
+          line.append(ra);
+          line.push_back(kJoinSeparator);
+          line.append(rb);
+          emit(std::move(line));
         }
       });
   return kernel_cpu + refine_cpu;
@@ -88,7 +93,7 @@ class SjmrMapper : public mapreduce::Mapper {
     tag_ = ctx.split().meta;
   }
 
-  void Map(const std::string& record, MapContext& ctx) override {
+  void Map(std::string_view record, MapContext& ctx) override {
     if (index::IsMetadataRecord(record)) return;
     const index::ShapeType shape = tag_ == "A" ? shape_a_ : shape_b_;
     auto env = index::RecordEnvelope(shape, record);
@@ -96,10 +101,14 @@ class SjmrMapper : public mapreduce::Mapper {
       ctx.counters().Increment("sjmr.bad_records");
       return;
     }
+    std::string tagged;
+    tagged.reserve(tag_.size() + record.size());
+    tagged.append(tag_);
+    tagged.append(record);
     for (int cell : grid_->AssignEnvelope(env.value())) {
       char key[16];
       std::snprintf(key, sizeof(key), "%010d", cell);
-      ctx.Emit(key, tag_ + record);
+      ctx.Emit(key, tagged);
     }
   }
 
@@ -134,10 +143,13 @@ class SjmrReducer : public mapreduce::Reducer {
     SpatialRecordReader reader_b(shape_b_);
     for (const std::string& value : values) {
       if (value.empty()) continue;
+      // `values` outlives the readers (both are scoped to this call), so
+      // the untagged tails can be borrowed instead of copied.
+      const std::string_view tail = std::string_view(value).substr(1);
       if (value[0] == 'A') {
-        reader_a.Add(value.substr(1));
+        reader_a.AddBorrowed(tail);
       } else {
-        reader_b.Add(value.substr(1));
+        reader_b.AddBorrowed(tail);
       }
     }
     // Reference-point duplicate avoidance: a record pair overlapping
@@ -146,8 +158,8 @@ class SjmrReducer : public mapreduce::Reducer {
     // top/right edge accept their closed boundary (no neighbour exists
     // there to double-report).
     uint64_t cpu = LocalJoin(
-        shape_a_, reader_a.records(), reader_a.Envelopes(), shape_b_,
-        reader_b.records(), reader_b.Envelopes(), algorithm_,
+        reader_a, reader_a.Envelopes(), reader_b, reader_b.Envelopes(),
+        algorithm_,
         [this, &cell](const Point& ref) { return AcceptRef(cell, ref); },
         [&ctx](std::string line) {
           ctx.Write(std::move(line));
@@ -210,9 +222,8 @@ class DjMapper : public PairPartitionMapper {
       return true;
     };
     const uint64_t cpu = LocalJoin(
-        view_a.shape(), view_a.records(), view_a.Envelopes(),
-        view_b.shape(), view_b.records(), view_b.Envelopes(),
-        algorithm_, accept,
+        view_a.reader(), view_a.Envelopes(), view_b.reader(),
+        view_b.Envelopes(), algorithm_, accept,
         [&ctx](std::string line) {
           ctx.WriteOutput(std::move(line));
           ctx.counters().Increment("join.results");

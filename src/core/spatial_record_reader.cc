@@ -1,76 +1,226 @@
 #include "core/spatial_record_reader.h"
 
+#include "common/logging.h"
+
 namespace shadoop::core {
 
-void SpatialRecordReader::Add(std::string record) {
+void SpatialRecordReader::Add(std::string_view record) {
   if (index::IsMetadataRecord(record)) {
     auto decoded = index::DecodeLocalIndexHeader(record);
     if (decoded.ok()) {
       preparsed_envelopes_ = std::move(decoded).value();
+      InvalidateColumns();
     }
     return;
   }
-  records_.push_back(std::move(record));
+  AddRecord(arena_.Intern(record));
+}
+
+void SpatialRecordReader::AddBorrowed(std::string_view record) {
+  if (index::IsMetadataRecord(record)) {
+    auto decoded = index::DecodeLocalIndexHeader(record);
+    if (decoded.ok()) {
+      preparsed_envelopes_ = std::move(decoded).value();
+      InvalidateColumns();
+    }
+    return;
+  }
+  AddRecord(record);
+}
+
+void SpatialRecordReader::AddRecord(std::string_view stable_record) {
+  records_.push_back(stable_record);
+  InvalidateColumns();
+}
+
+void SpatialRecordReader::Clear() {
+  records_.clear();
+  preparsed_envelopes_.clear();
+  bad_records_ = 0;
+  arena_.Clear();
+  InvalidateColumns();
+  // Post-state invariant: nothing that could disagree with records_ may
+  // survive a Clear() — no stale #lidx envelopes, columns, or arena
+  // bytes backing now-dropped views.
+  SHADOOP_DCHECK(records_.empty() && preparsed_envelopes_.empty() &&
+                 arena_.empty() && !point_column_built_ &&
+                 !envelope_column_built_ && !polygon_column_built_);
+  CheckInvariants();
+}
+
+void SpatialRecordReader::InvalidateColumns() {
+  point_column_built_ = false;
+  point_column_.clear();
+  point_valid_.clear();
+  point_bad_ = 0;
+  envelope_column_built_ = false;
+  envelope_column_.clear();
+  envelope_valid_.clear();
+  envelope_bad_ = 0;
+  polygon_column_built_ = false;
+  polygon_column_.clear();
+  polygon_valid_.clear();
+  polygon_bad_ = 0;
+}
+
+void SpatialRecordReader::CheckInvariants() const {
+  // Every built column covers every record, and a cleared reader must
+  // hold no stale preparsed envelopes, columns, or arena bytes — the
+  // states that could otherwise disagree with records_.
+  SHADOOP_DCHECK(!point_column_built_ ||
+                 point_column_.size() == records_.size());
+  SHADOOP_DCHECK(!envelope_column_built_ ||
+                 envelope_column_.size() == records_.size());
+  SHADOOP_DCHECK(!polygon_column_built_ ||
+                 polygon_column_.size() == records_.size());
+}
+
+void SpatialRecordReader::EnsurePointColumn() {
+  if (point_column_built_) return;
+  CheckInvariants();
+  point_column_.assign(records_.size(), Point());
+  point_valid_.assign(records_.size(), 0);
+  point_bad_ = 0;
+  for (size_t i = 0; i < records_.size(); ++i) {
+    auto p = index::RecordPoint(records_[i]);
+    if (p.ok()) {
+      point_column_[i] = p.value();
+      point_valid_[i] = 1;
+    } else {
+      ++point_bad_;
+    }
+  }
+  point_column_built_ = true;
+}
+
+void SpatialRecordReader::EnsureEnvelopeColumn() {
+  if (envelope_column_built_) return;
+  CheckInvariants();
+  envelope_column_.assign(records_.size(), Envelope());
+  envelope_valid_.assign(records_.size(), 0);
+  envelope_bad_ = 0;
+  if (has_local_index()) {
+    // The persisted header already carries every record's envelope in
+    // block order; empty slots mark records that failed to parse at
+    // build time. No geometry is parsed here.
+    for (size_t i = 0; i < records_.size(); ++i) {
+      if (preparsed_envelopes_[i].IsEmpty()) {
+        ++envelope_bad_;
+      } else {
+        envelope_column_[i] = preparsed_envelopes_[i];
+        envelope_valid_[i] = 1;
+      }
+    }
+  } else if (shape_ == index::ShapeType::kPoint) {
+    // A point's envelope is the point itself: share the point column's
+    // single parse instead of parsing again.
+    EnsurePointColumn();
+    for (size_t i = 0; i < records_.size(); ++i) {
+      if (point_valid_[i]) {
+        envelope_column_[i] = Envelope::FromPoint(point_column_[i]);
+        envelope_valid_[i] = 1;
+      } else {
+        ++envelope_bad_;
+      }
+    }
+  } else if (shape_ == index::ShapeType::kPolygon) {
+    // Likewise derived: the polygon column's bounds.
+    EnsurePolygonColumn();
+    for (size_t i = 0; i < records_.size(); ++i) {
+      if (polygon_valid_[i]) {
+        envelope_column_[i] = polygon_column_[i].Bounds();
+        envelope_valid_[i] = 1;
+      } else {
+        ++envelope_bad_;
+      }
+    }
+  } else {
+    for (size_t i = 0; i < records_.size(); ++i) {
+      auto env = index::RecordRectangle(records_[i]);
+      if (env.ok()) {
+        envelope_column_[i] = env.value();
+        envelope_valid_[i] = 1;
+      } else {
+        ++envelope_bad_;
+      }
+    }
+  }
+  envelope_column_built_ = true;
+}
+
+void SpatialRecordReader::EnsurePolygonColumn() {
+  if (polygon_column_built_) return;
+  CheckInvariants();
+  polygon_column_.assign(records_.size(), Polygon());
+  polygon_valid_.assign(records_.size(), 0);
+  polygon_bad_ = 0;
+  for (size_t i = 0; i < records_.size(); ++i) {
+    auto poly = index::RecordPolygon(records_[i]);
+    if (poly.ok()) {
+      polygon_column_[i] = std::move(poly).value();
+      polygon_valid_[i] = 1;
+    } else {
+      ++polygon_bad_;
+    }
+  }
+  polygon_column_built_ = true;
 }
 
 std::vector<Point> SpatialRecordReader::Points() {
+  EnsurePointColumn();
+  bad_records_ += point_bad_;
   std::vector<Point> points;
   points.reserve(records_.size());
-  for (const std::string& record : records_) {
-    auto p = index::RecordPoint(record);
-    if (p.ok()) {
-      points.push_back(p.value());
-    } else {
-      ++bad_records_;
-    }
+  for (size_t i = 0; i < records_.size(); ++i) {
+    if (point_valid_[i]) points.push_back(point_column_[i]);
   }
   return points;
 }
 
 std::vector<index::RTree::Entry> SpatialRecordReader::Envelopes() {
+  EnsureEnvelopeColumn();
+  bad_records_ += envelope_bad_;
   std::vector<index::RTree::Entry> entries;
   entries.reserve(records_.size());
-  if (has_local_index()) {
-    // The persisted header already carries every record's envelope in
-    // block order; empty slots mark records that failed to parse at
-    // build time.
-    for (size_t i = 0; i < records_.size(); ++i) {
-      if (preparsed_envelopes_[i].IsEmpty()) {
-        ++bad_records_;
-      } else {
-        entries.push_back({preparsed_envelopes_[i],
-                           static_cast<uint32_t>(i)});
-      }
-    }
-    return entries;
-  }
   for (size_t i = 0; i < records_.size(); ++i) {
-    auto env = index::RecordEnvelope(shape_, records_[i]);
-    if (env.ok()) {
-      entries.push_back({env.value(), static_cast<uint32_t>(i)});
-    } else {
-      ++bad_records_;
+    if (envelope_valid_[i]) {
+      entries.push_back({envelope_column_[i], static_cast<uint32_t>(i)});
     }
   }
   return entries;
 }
 
 std::vector<Polygon> SpatialRecordReader::Polygons() {
+  EnsurePolygonColumn();
+  bad_records_ += polygon_bad_;
   std::vector<Polygon> polygons;
   polygons.reserve(records_.size());
-  for (const std::string& record : records_) {
-    auto poly = index::RecordPolygon(record);
-    if (poly.ok()) {
-      polygons.push_back(std::move(poly).value());
-    } else {
-      ++bad_records_;
-    }
+  for (size_t i = 0; i < records_.size(); ++i) {
+    if (polygon_valid_[i]) polygons.push_back(polygon_column_[i]);
   }
   return polygons;
 }
 
 index::RTree SpatialRecordReader::BuildLocalIndex() {
   return index::RTree(Envelopes());
+}
+
+const Envelope* SpatialRecordReader::EnvelopeAt(size_t i) {
+  EnsureEnvelopeColumn();
+  if (i >= records_.size() || !envelope_valid_[i]) return nullptr;
+  return &envelope_column_[i];
+}
+
+const Point* SpatialRecordReader::PointAt(size_t i) {
+  EnsurePointColumn();
+  if (i >= records_.size() || !point_valid_[i]) return nullptr;
+  return &point_column_[i];
+}
+
+const Polygon* SpatialRecordReader::PolygonAt(size_t i) {
+  EnsurePolygonColumn();
+  if (i >= records_.size() || !polygon_valid_[i]) return nullptr;
+  return &polygon_column_[i];
 }
 
 }  // namespace shadoop::core

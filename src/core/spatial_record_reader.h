@@ -2,12 +2,14 @@
 #define SHADOOP_CORE_SPATIAL_RECORD_READER_H_
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/result.h"
 #include "geometry/envelope.h"
 #include "geometry/point.h"
 #include "geometry/polygon.h"
+#include "hdfs/block_arena.h"
 #include "index/record_shape.h"
 #include "index/rtree.h"
 
@@ -17,21 +19,35 @@ namespace shadoop::core {
 /// the raw records of their partition and it exposes typed geometry views
 /// and a bulk-loaded local index. Malformed records are counted, not
 /// fatal (HDFS text files routinely contain stray lines).
+///
+/// Storage is zero-copy: records are `std::string_view`s — either
+/// borrowed from the caller (AddBorrowed, used on the runner's pinned
+/// block bytes) or interned into the reader's own arena (Add). Geometry
+/// is parsed at most once per record: the first typed accessor builds a
+/// contiguous column (envelopes, point coordinates, or polygons) that
+/// every later access — including the R-tree bulk load — reads directly.
+/// A partition persisted with a `#lidx` header feeds the envelope column
+/// without parsing any geometry at all.
 class SpatialRecordReader {
  public:
   explicit SpatialRecordReader(index::ShapeType shape) : shape_(shape) {}
 
   index::ShapeType shape() const { return shape_; }
 
-  /// Feeds one raw record. '#'-prefixed metadata records (the persisted
-  /// local-index header) are consumed here and never appear in records().
-  void Add(std::string record);
+  /// Feeds one raw record, copying it into the reader's arena — safe for
+  /// callers whose bytes die immediately. '#'-prefixed metadata records
+  /// (the persisted local-index header) are consumed here and never
+  /// appear in records().
+  void Add(std::string_view record);
 
-  void Clear() {
-    records_.clear();
-    preparsed_envelopes_.clear();
-    bad_records_ = 0;
-  }
+  /// Zero-copy variant: the caller guarantees `record`'s bytes outlive
+  /// this reader's use (the map runner pins block payloads for the whole
+  /// task attempt, so partition mappers borrow).
+  void AddBorrowed(std::string_view record);
+
+  /// Drops all records, parsed columns, the local-index header, and the
+  /// arena — the reader is reusable as if freshly constructed.
+  void Clear();
 
   /// True when the partition carried a persisted local index, so
   /// Envelopes()/BuildLocalIndex() need no geometry parsing. Callers use
@@ -42,7 +58,7 @@ class SpatialRecordReader {
   }
 
   size_t NumRecords() const { return records_.size(); }
-  const std::vector<std::string>& records() const { return records_; }
+  const std::vector<std::string_view>& records() const { return records_; }
   size_t bad_records() const { return bad_records_; }
 
   /// Parses all records as points (shape must be kPoint).
@@ -60,11 +76,51 @@ class SpatialRecordReader {
   /// savings.
   index::RTree BuildLocalIndex();
 
+  // ------------------------------------------------------------------
+  // Parse-once column access. Unlike the vector accessors above, these
+  // do not re-count malformed records into bad_records() — they are pure
+  // lookups into the memoized columns (nullptr = record i is malformed).
+
+  /// Envelope of record i, or nullptr when it failed to parse.
+  const Envelope* EnvelopeAt(size_t i);
+
+  /// Point geometry of record i (shape must be kPoint).
+  const Point* PointAt(size_t i);
+
+  /// Polygon geometry of record i (shape must be kPolygon).
+  const Polygon* PolygonAt(size_t i);
+
  private:
+  void AddRecord(std::string_view stable_record);
+  void InvalidateColumns();
+  void EnsurePointColumn();
+  void EnsureEnvelopeColumn();
+  void EnsurePolygonColumn();
+  void CheckInvariants() const;
+
   index::ShapeType shape_;
-  std::vector<std::string> records_;
+  hdfs::BlockArena arena_;  // Owns bytes behind Add()-ed records.
+  std::vector<std::string_view> records_;
   std::vector<Envelope> preparsed_envelopes_;  // From the #lidx header.
   size_t bad_records_ = 0;
+
+  // Memoized geometry columns (SoA): value + validity per record. The
+  // *_bad_ counts are what each legacy accessor call adds to
+  // bad_records(), preserving its parse-and-count-per-call contract.
+  bool point_column_built_ = false;
+  std::vector<Point> point_column_;
+  std::vector<char> point_valid_;
+  size_t point_bad_ = 0;
+
+  bool envelope_column_built_ = false;
+  std::vector<Envelope> envelope_column_;
+  std::vector<char> envelope_valid_;
+  size_t envelope_bad_ = 0;
+
+  bool polygon_column_built_ = false;
+  std::vector<Polygon> polygon_column_;
+  std::vector<char> polygon_valid_;
+  size_t polygon_bad_ = 0;
 };
 
 }  // namespace shadoop::core

@@ -29,7 +29,7 @@ uint64_t UnionCpuOps(const std::vector<Polygon>& polygons) {
 /// behaviour the experiment demonstrates.
 class HadoopUnionMapper : public mapreduce::Mapper {
  public:
-  void Map(const std::string& record, MapContext& ctx) override {
+  void Map(std::string_view record, MapContext& ctx) override {
     if (index::IsMetadataRecord(record)) return;
     ctx.Emit("U", record);
   }

@@ -1,0 +1,51 @@
+#include "hdfs/block_arena.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace shadoop::hdfs {
+
+std::vector<std::string_view> BlockArena::AddBlock(
+    std::shared_ptr<const std::string> payload) {
+  if (payload == nullptr || payload->empty()) return {};
+  std::vector<std::string_view> records = SplitBlockIntoRecordViews(*payload);
+  pinned_.push_back(std::move(payload));
+  return records;
+}
+
+std::string_view BlockArena::Intern(std::string_view bytes) {
+  if (bytes.empty()) return {};
+  if (chunks_.empty() || chunk_used_ + bytes.size() > chunk_capacity_) {
+    chunk_capacity_ = std::max(kMinChunkBytes, bytes.size());
+    chunks_.push_back(std::make_unique<char[]>(chunk_capacity_));
+    chunk_used_ = 0;
+  }
+  char* dst = chunks_.back().get() + chunk_used_;
+  std::memcpy(dst, bytes.data(), bytes.size());
+  chunk_used_ += bytes.size();
+  interned_bytes_ += bytes.size();
+  return {dst, bytes.size()};
+}
+
+void BlockArena::Clear() {
+  pinned_.clear();
+  chunks_.clear();
+  chunk_capacity_ = 0;
+  chunk_used_ = 0;
+  interned_bytes_ = 0;
+}
+
+std::vector<std::string_view> SplitBlockIntoRecordViews(
+    std::string_view payload) {
+  std::vector<std::string_view> records;
+  size_t start = 0;
+  while (start < payload.size()) {
+    size_t end = payload.find('\n', start);
+    if (end == std::string_view::npos) end = payload.size();
+    records.push_back(payload.substr(start, end - start));
+    start = end + 1;
+  }
+  return records;
+}
+
+}  // namespace shadoop::hdfs

@@ -1,0 +1,64 @@
+#ifndef SHADOOP_HDFS_BLOCK_ARENA_H_
+#define SHADOOP_HDFS_BLOCK_ARENA_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace shadoop::hdfs {
+
+/// Owns the bytes behind `std::string_view` records so the data path can
+/// stay zero-copy: a block's payload is pinned once (shared with the
+/// datanode store, never duplicated) and every record of the block is a
+/// slice of it. Bytes that do not come from a block — combiner output,
+/// records assembled by an operation — are interned into bump-allocated
+/// chunks, so their views are equally stable.
+///
+/// Lifetime contract: every view returned by AddBlock()/Intern() stays
+/// valid until Clear() or destruction, regardless of how much is added
+/// afterwards (chunks grow by adding new chunks, never by reallocating
+/// old ones).
+class BlockArena {
+ public:
+  BlockArena() = default;
+  BlockArena(const BlockArena&) = delete;
+  BlockArena& operator=(const BlockArena&) = delete;
+  BlockArena(BlockArena&&) = default;
+  BlockArena& operator=(BlockArena&&) = default;
+
+  /// Pins a block payload and returns views of its records (lines). The
+  /// payload is shared with the file system's block store — no bytes are
+  /// copied.
+  std::vector<std::string_view> AddBlock(
+      std::shared_ptr<const std::string> payload);
+
+  /// Copies `bytes` into arena-owned storage and returns a stable view.
+  std::string_view Intern(std::string_view bytes);
+
+  /// Releases every pinned block and interned chunk. All previously
+  /// returned views become invalid.
+  void Clear();
+
+  size_t pinned_blocks() const { return pinned_.size(); }
+  size_t interned_bytes() const { return interned_bytes_; }
+  bool empty() const { return pinned_.empty() && chunks_.empty(); }
+
+ private:
+  static constexpr size_t kMinChunkBytes = 16 * 1024;
+
+  std::vector<std::shared_ptr<const std::string>> pinned_;
+  std::vector<std::unique_ptr<char[]>> chunks_;
+  size_t chunk_capacity_ = 0;  // Capacity of chunks_.back().
+  size_t chunk_used_ = 0;      // Bytes used in chunks_.back().
+  size_t interned_bytes_ = 0;
+};
+
+/// Splits a block payload into record views (lines) without copying. The
+/// views alias `payload`; an unterminated final line is included.
+std::vector<std::string_view> SplitBlockIntoRecordViews(
+    std::string_view payload);
+
+}  // namespace shadoop::hdfs
+
+#endif  // SHADOOP_HDFS_BLOCK_ARENA_H_

@@ -96,6 +96,13 @@ Result<FileMeta> FileSystem::GetFileMeta(const std::string& path) const {
 
 Result<std::vector<std::string>> FileSystem::ReadBlock(
     const std::string& path, size_t block_index) const {
+  SHADOOP_ASSIGN_OR_RETURN(std::shared_ptr<const std::string> payload,
+                           ReadBlockRaw(path, block_index));
+  return SplitBlockIntoRecords(*payload);
+}
+
+Result<std::shared_ptr<const std::string>> FileSystem::ReadBlockRaw(
+    const std::string& path, size_t block_index) const {
   std::shared_ptr<const std::string> payload;
   size_t payload_bytes = 0;
   {
@@ -122,7 +129,7 @@ Result<std::vector<std::string>> FileSystem::ReadBlock(
   }
   io_stats_.bytes_read += payload_bytes;
   io_stats_.blocks_read += 1;
-  return SplitBlockIntoRecords(*payload);
+  return payload;
 }
 
 Result<std::vector<std::string>> FileSystem::ReadLines(

@@ -117,6 +117,13 @@ class FileSystem {
   Result<std::vector<std::string>> ReadBlock(const std::string& path,
                                              size_t block_index) const;
 
+  /// Zero-copy read of one block: returns the stored payload itself
+  /// (shared with the datanode, never duplicated) so callers can slice
+  /// records out of it without copying — see hdfs/block_arena.h. I/O
+  /// accounting is identical to ReadBlock.
+  Result<std::shared_ptr<const std::string>> ReadBlockRaw(
+      const std::string& path, size_t block_index) const;
+
   /// Reads a whole file in block order.
   Result<std::vector<std::string>> ReadLines(const std::string& path) const;
 

@@ -50,7 +50,7 @@ class AnalysisMapper : public Mapper {
     rng_ = std::make_unique<Random>(SplitSeed(ctx.split()));
   }
 
-  void Map(const std::string& record, MapContext& ctx) override {
+  void Map(std::string_view record, MapContext& ctx) override {
     if (IsMetadataRecord(record)) return;
     auto env = RecordEnvelope(shape_, record);
     if (!env.ok()) {
@@ -82,7 +82,7 @@ class PartitionMapper : public Mapper {
   PartitionMapper(ShapeType shape, std::shared_ptr<const Partitioner> part)
       : shape_(shape), partitioner_(std::move(part)) {}
 
-  void Map(const std::string& record, MapContext& ctx) override {
+  void Map(std::string_view record, MapContext& ctx) override {
     if (IsMetadataRecord(record)) return;
     auto env = RecordEnvelope(shape_, record);
     if (!env.ok()) {

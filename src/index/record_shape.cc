@@ -1,9 +1,24 @@
 #include "index/record_shape.h"
 
+#include <atomic>
+
 #include "common/string_util.h"
 #include "geometry/wkt.h"
 
 namespace shadoop::index {
+namespace {
+
+std::atomic<uint64_t> g_geometry_parses{0};
+
+}  // namespace
+
+uint64_t GeometryParseCount() {
+  return g_geometry_parses.load(std::memory_order_relaxed);
+}
+
+void ResetGeometryParseCount() {
+  g_geometry_parses.store(0, std::memory_order_relaxed);
+}
 
 const char* ShapeTypeName(ShapeType type) {
   switch (type) {
@@ -73,6 +88,7 @@ Result<std::vector<Envelope>> DecodeLocalIndexHeader(
 }
 
 Result<Envelope> RecordEnvelope(ShapeType type, std::string_view record) {
+  g_geometry_parses.fetch_add(1, std::memory_order_relaxed);
   const std::string_view geom = GeometryField(record);
   switch (type) {
     case ShapeType::kPoint: {
@@ -90,14 +106,17 @@ Result<Envelope> RecordEnvelope(ShapeType type, std::string_view record) {
 }
 
 Result<Point> RecordPoint(std::string_view record) {
+  g_geometry_parses.fetch_add(1, std::memory_order_relaxed);
   return ParsePointCsv(GeometryField(record));
 }
 
 Result<Polygon> RecordPolygon(std::string_view record) {
+  g_geometry_parses.fetch_add(1, std::memory_order_relaxed);
   return ParsePolygonWkt(GeometryField(record));
 }
 
 Result<Envelope> RecordRectangle(std::string_view record) {
+  g_geometry_parses.fetch_add(1, std::memory_order_relaxed);
   return ParseEnvelopeCsv(GeometryField(record));
 }
 

@@ -1,6 +1,7 @@
 #ifndef SHADOOP_INDEX_RECORD_SHAPE_H_
 #define SHADOOP_INDEX_RECORD_SHAPE_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 
@@ -8,6 +9,10 @@
 #include "geometry/envelope.h"
 #include "geometry/point.h"
 #include "geometry/polygon.h"
+
+/// Feature-test macro for the parse-accounting API below; lets benchmark
+/// sources compile against trees that predate it.
+#define SHADOOP_HAS_PARSE_COUNTERS 1
 
 namespace shadoop::index {
 
@@ -49,6 +54,14 @@ Result<Polygon> RecordPolygon(std::string_view record);
 
 /// Parses the geometry of a rectangle record.
 Result<Envelope> RecordRectangle(std::string_view record);
+
+/// Process-wide count of geometry parses (every Record* call above adds
+/// one). Deliberately NOT a MapReduce counter: job counters feed the
+/// golden parity suite, while this is pure observability — the bench
+/// harness snapshots it around a job to prove the parse-once invariant
+/// (parses <= records processed).
+uint64_t GeometryParseCount();
+void ResetGeometryParseCount();
 
 }  // namespace shadoop::index
 

@@ -84,8 +84,10 @@ class MapContext {
  public:
   virtual ~MapContext() = default;
 
-  virtual void Emit(std::string key, std::string value) = 0;
-  virtual void WriteOutput(std::string line) = 0;
+  /// Key/value bytes are copied into the task's shuffle buffer before the
+  /// call returns, so views into short-lived storage are fine.
+  virtual void Emit(std::string_view key, std::string_view value) = 0;
+  virtual void WriteOutput(std::string_view line) = 0;
   virtual void ChargeCpu(uint64_t ops) = 0;
   virtual Counters& counters() = 0;
   /// The split being processed (access to `meta`).
@@ -122,7 +124,12 @@ class Mapper {
     (void)ordinal;
     (void)ctx;
   }
-  virtual void Map(const std::string& record, MapContext& ctx) = 0;
+  /// `record` is a zero-copy view into the block being read; it stays
+  /// valid until EndSplit() returns (the runner pins the block's bytes
+  /// for the whole task attempt), so mappers may buffer views across
+  /// Map() calls. Anything that must outlive the task — Emit(),
+  /// WriteOutput() — is copied by the context.
+  virtual void Map(std::string_view record, MapContext& ctx) = 0;
   virtual void EndSplit(MapContext& ctx) { (void)ctx; }
 };
 
@@ -146,7 +153,7 @@ using MapperFactory = std::function<std::unique_ptr<Mapper>()>;
 using ReducerFactory = std::function<std::unique_ptr<Reducer>()>;
 
 /// Routes an intermediate key to a reduce task in [0, num_reducers).
-using Partitioner = std::function<int(const std::string& key, int num_reducers)>;
+using Partitioner = std::function<int(std::string_view key, int num_reducers)>;
 
 /// Fault-injection hook for tests: return true to make the given task
 /// attempt fail artificially.

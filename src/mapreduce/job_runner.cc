@@ -2,10 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
-#include <thread>
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
+#include "hdfs/block_arena.h"
+#include "mapreduce/thread_pool.h"
 
 namespace shadoop::mapreduce {
 namespace {
@@ -18,22 +19,35 @@ struct TaskAccounting {
   Status status;  // First failure reported by user code.
 };
 
+/// One emitted pair, stored as offsets into the owning task's shuffle
+/// buffer instead of a pair of owned strings: the key bytes start at
+/// `offset`, the value bytes follow immediately.
+struct EmitSlice {
+  uint64_t offset = 0;
+  uint32_t key_len = 0;
+  uint32_t value_len = 0;
+};
+
 class MapContextImpl : public MapContext {
  public:
   MapContextImpl(const InputSplit& split, int num_reducers)
       : split_(split), emitted_(std::max(1, num_reducers)) {}
 
-  void Emit(std::string key, std::string value) override {
+  void Emit(std::string_view key, std::string_view value) override {
     const int bucket =
         partition_ ? partition_(key, static_cast<int>(emitted_.size()))
                    : HashPartition(key, static_cast<int>(emitted_.size()));
     emitted_bytes_ += key.size() + value.size();
-    emitted_[bucket].push_back({std::move(key), std::move(value)});
+    const uint64_t offset = buffer_.size();
+    buffer_.append(key);
+    buffer_.append(value);
+    emitted_[bucket].push_back({offset, static_cast<uint32_t>(key.size()),
+                                static_cast<uint32_t>(value.size())});
   }
 
-  void WriteOutput(std::string line) override {
+  void WriteOutput(std::string_view line) override {
     output_bytes_ += line.size() + 1;
-    output_.push_back(std::move(line));
+    output_.emplace_back(line);
   }
 
   void ChargeCpu(uint64_t ops) override { acct_.charged_cpu_ops += ops; }
@@ -46,10 +60,18 @@ class MapContextImpl : public MapContext {
 
   void set_partitioner(const Partitioner& p) { partition_ = p; }
 
+  std::string_view KeyOf(const EmitSlice& s) const {
+    return std::string_view(buffer_).substr(s.offset, s.key_len);
+  }
+  std::string_view ValueOf(const EmitSlice& s) const {
+    return std::string_view(buffer_).substr(s.offset + s.key_len, s.value_len);
+  }
+
   const InputSplit& split_;
   Partitioner partition_;
-  std::vector<std::vector<KeyValue>> emitted_;  // One bucket per reducer.
-  std::vector<std::string> output_;             // Map-side final output.
+  std::string buffer_;  // Backing bytes of every emitted pair.
+  std::vector<std::vector<EmitSlice>> emitted_;  // One bucket per reducer.
+  std::vector<std::string> output_;              // Map-side final output.
   uint64_t emitted_bytes_ = 0;
   uint64_t output_bytes_ = 0;
   TaskAccounting acct_;
@@ -92,44 +114,54 @@ class CombineContextImpl : public ReduceContext {
   TaskAccounting* acct_;
 };
 
-/// Runs `fn(i)` for i in [0, n) on up to `max_threads` threads.
+/// Reference to one shuffled pair: points into the emitting map task's
+/// buffer, which stays alive for the whole job, so the shuffle moves
+/// 16-byte references instead of copying key/value strings.
+struct ShuffleRef {
+  const std::string* buffer = nullptr;
+  uint64_t offset = 0;
+  uint32_t key_len = 0;
+  uint32_t value_len = 0;
+
+  std::string_view key() const {
+    return std::string_view(*buffer).substr(offset, key_len);
+  }
+  std::string_view value() const {
+    return std::string_view(*buffer).substr(offset + key_len, value_len);
+  }
+};
+
+/// Same ordering as the old KeyValue operator<: by key, then value.
+bool ShuffleRefLess(const ShuffleRef& a, const ShuffleRef& b) {
+  const std::string_view ka = a.key();
+  const std::string_view kb = b.key();
+  if (ka != kb) return ka < kb;
+  return a.value() < b.value();
+}
+
+/// Runs `fn(i)` for i in [0, n) on up to `max_threads` threads, via the
+/// shared persistent pool.
 void ParallelFor(size_t n, int max_threads,
                  const std::function<void(size_t)>& fn) {
-  if (n == 0) return;
-  const int num_threads = static_cast<int>(std::min<size_t>(
-      n, std::max(1, std::min<int>(max_threads,
-                                   std::thread::hardware_concurrency()))));
-  if (num_threads <= 1) {
-    for (size_t i = 0; i < n; ++i) fn(i);
-    return;
-  }
-  std::atomic<size_t> next{0};
-  std::vector<std::thread> threads;
-  threads.reserve(num_threads);
-  for (int t = 0; t < num_threads; ++t) {
-    threads.emplace_back([&]() {
-      for (;;) {
-        const size_t i = next.fetch_add(1);
-        if (i >= n) return;
-        fn(i);
-      }
-    });
-  }
-  for (std::thread& t : threads) t.join();
+  ThreadPool::Shared().ParallelFor(n, max_threads, fn);
 }
 
 /// Groups a key-sorted run of pairs and invokes the reducer per group.
-void ReduceSortedRun(const std::vector<KeyValue>& pairs, Reducer& reducer,
+/// Values are materialized here, at the reduce boundary — the only place
+/// the public Reducer API still requires owned strings.
+void ReduceSortedRun(const std::vector<ShuffleRef>& pairs, Reducer& reducer,
                      ReduceContext& ctx) {
   size_t i = 0;
   while (i < pairs.size()) {
     size_t j = i;
+    const std::string_view group_key = pairs[i].key();
     std::vector<std::string> values;
-    while (j < pairs.size() && pairs[j].key == pairs[i].key) {
-      values.push_back(pairs[j].value);
+    while (j < pairs.size() && pairs[j].key() == group_key) {
+      values.emplace_back(pairs[j].value());
       ++j;
     }
-    reducer.Reduce(pairs[i].key, values, ctx);
+    const std::string key(group_key);
+    reducer.Reduce(key, values, ctx);
     i = j;
   }
   reducer.Finish(ctx);
@@ -144,7 +176,7 @@ double CpuMs(const ClusterConfig& cfg, const TaskAccounting& acct) {
 
 }  // namespace
 
-int HashPartition(const std::string& key, int num_reducers) {
+int HashPartition(std::string_view key, int num_reducers) {
   uint64_t hash = 14695981039346656037ULL;
   for (char c : key) {
     hash ^= static_cast<unsigned char>(c);
@@ -204,17 +236,22 @@ JobResult JobRunner::Run(const JobConfig& job) {
       }
       std::unique_ptr<Mapper> mapper = job.mapper();
       mapper->BeginSplit(*ctx);
+      // The arena pins every block of the attempt, so record views stay
+      // valid across the whole split — through EndSplit() — without any
+      // per-record copies.
+      hdfs::BlockArena arena;
       uint64_t bytes = 0;
       Status read_status;
       for (size_t ordinal = 0; ordinal < split.blocks.size(); ++ordinal) {
         const BlockRef& block = split.blocks[ordinal];
-        auto records = fs_->ReadBlock(block.path, block.block_index);
-        if (!records.ok()) {
-          read_status = records.status();
+        auto payload = fs_->ReadBlockRaw(block.path, block.block_index);
+        if (!payload.ok()) {
+          read_status = payload.status();
           break;
         }
         mapper->BeginBlock(ordinal, *ctx);
-        for (const std::string& record : records.value()) {
+        for (std::string_view record :
+             arena.AddBlock(std::move(payload).value())) {
           bytes += record.size() + 1;
           ++ctx->acct_.records_processed;
           mapper->Map(record, *ctx);
@@ -252,50 +289,72 @@ JobResult JobRunner::Run(const JobConfig& job) {
     }
   }
 
-  // Optional combiner: per map task, sort + group + combine in place.
+  // Optional combiner: per map task, sort + group + combine in place,
+  // then rebuild the task's shuffle buffer from the combined pairs.
   if (job.combiner) {
     ParallelFor(num_maps, cluster_.num_slots, [&](size_t i) {
       MapContextImpl& ctx = *map_ctxs[i];
       std::unique_ptr<Reducer> combiner = job.combiner();
       uint64_t new_bytes = 0;
+      std::string new_buffer;
       for (auto& bucket : ctx.emitted_) {
-        std::sort(bucket.begin(), bucket.end());
+        std::sort(bucket.begin(), bucket.end(),
+                  [&ctx](const EmitSlice& a, const EmitSlice& b) {
+                    const std::string_view ka = ctx.KeyOf(a);
+                    const std::string_view kb = ctx.KeyOf(b);
+                    if (ka != kb) return ka < kb;
+                    return ctx.ValueOf(a) < ctx.ValueOf(b);
+                  });
         CombineContextImpl cc(&ctx.acct_);
         size_t p = 0;
         while (p < bucket.size()) {
           size_t q = p;
+          const std::string_view group_key = ctx.KeyOf(bucket[p]);
           std::vector<std::string> values;
-          while (q < bucket.size() && bucket[q].key == bucket[p].key) {
-            values.push_back(bucket[q].value);
+          while (q < bucket.size() && ctx.KeyOf(bucket[q]) == group_key) {
+            values.emplace_back(ctx.ValueOf(bucket[q]));
             ++q;
           }
-          cc.current_key_ = bucket[p].key;
+          cc.current_key_ = std::string(group_key);
           ctx.acct_.records_processed += values.size();
-          combiner->Reduce(bucket[p].key, values, cc);
+          combiner->Reduce(cc.current_key_, values, cc);
           p = q;
         }
-        bucket = std::move(cc.combined_);
-        for (const KeyValue& kv : bucket) {
+        std::vector<EmitSlice> rebuilt;
+        rebuilt.reserve(cc.combined_.size());
+        for (const KeyValue& kv : cc.combined_) {
+          const uint64_t offset = new_buffer.size();
+          new_buffer.append(kv.key);
+          new_buffer.append(kv.value);
+          rebuilt.push_back({offset, static_cast<uint32_t>(kv.key.size()),
+                             static_cast<uint32_t>(kv.value.size())});
           new_bytes += kv.key.size() + kv.value.size();
         }
+        bucket = std::move(rebuilt);
       }
+      ctx.buffer_ = std::move(new_buffer);
       ctx.emitted_bytes_ = new_bytes;
     });
   }
 
   // ------------------------------------------------------------------
-  // Shuffle: route each map task's buckets to reduce task inputs.
-  std::vector<std::vector<KeyValue>> reduce_inputs(num_reducers);
+  // Shuffle: route each map task's buckets to reduce task inputs. Only
+  // (buffer, offset) references move; the bytes stay in the map tasks'
+  // buffers, which outlive the reduce phase.
+  std::vector<std::vector<ShuffleRef>> reduce_inputs(num_reducers);
   uint64_t shuffle_bytes = 0;
   for (size_t i = 0; i < num_maps; ++i) {
     MapContextImpl& ctx = *map_ctxs[i];
     shuffle_bytes += ctx.emitted_bytes_;
     for (int r = 0; r < num_reducers; ++r) {
       auto& bucket = ctx.emitted_[r];
-      reduce_inputs[r].insert(reduce_inputs[r].end(),
-                              std::make_move_iterator(bucket.begin()),
-                              std::make_move_iterator(bucket.end()));
+      reduce_inputs[r].reserve(reduce_inputs[r].size() + bucket.size());
+      for (const EmitSlice& s : bucket) {
+        reduce_inputs[r].push_back(
+            {&ctx.buffer_, s.offset, s.key_len, s.value_len});
+      }
       bucket.clear();
+      bucket.shrink_to_fit();
     }
   }
 
@@ -305,7 +364,8 @@ JobResult JobRunner::Run(const JobConfig& job) {
   if (has_reduce) {
     ParallelFor(static_cast<size_t>(num_reducers), cluster_.num_slots,
                 [&](size_t r) {
-                  std::sort(reduce_inputs[r].begin(), reduce_inputs[r].end());
+                  std::sort(reduce_inputs[r].begin(), reduce_inputs[r].end(),
+                            ShuffleRefLess);
                   std::unique_ptr<Reducer> reducer = job.reducer();
                   reduce_ctxs[r].acct_.records_processed +=
                       reduce_inputs[r].size();
@@ -321,10 +381,13 @@ JobResult JobRunner::Run(const JobConfig& job) {
   } else {
     // Map-only job: emitted pairs (if any) pass through as "key<TAB>value".
     for (int r = 0; r < num_reducers; ++r) {
-      std::sort(reduce_inputs[r].begin(), reduce_inputs[r].end());
-      for (KeyValue& kv : reduce_inputs[r]) {
-        reduce_ctxs[r].Write(kv.key.empty() ? std::move(kv.value)
-                                            : kv.key + "\t" + kv.value);
+      std::sort(reduce_inputs[r].begin(), reduce_inputs[r].end(),
+                ShuffleRefLess);
+      for (const ShuffleRef& ref : reduce_inputs[r]) {
+        reduce_ctxs[r].Write(ref.key_len == 0
+                                 ? std::string(ref.value())
+                                 : std::string(ref.key()) + "\t" +
+                                       std::string(ref.value()));
       }
     }
   }
@@ -378,8 +441,8 @@ JobResult JobRunner::Run(const JobConfig& job) {
     reduce_costs.reserve(num_reducers);
     for (int r = 0; r < num_reducers; ++r) {
       uint64_t in_bytes = 0;
-      for (const KeyValue& kv : reduce_inputs[r]) {
-        in_bytes += kv.key.size() + kv.value.size();
+      for (const ShuffleRef& ref : reduce_inputs[r]) {
+        in_bytes += ref.key_len + ref.value_len;
       }
       reduce_output_bytes += reduce_ctxs[r].output_bytes_;
       const double io_ms =

@@ -41,7 +41,7 @@ Result<std::vector<InputSplit>> MakeBlockSplits(const hdfs::FileSystem& fs,
                                                 const std::string& path);
 
 /// The default partitioner: FNV-1a hash of the key modulo num_reducers.
-int HashPartition(const std::string& key, int num_reducers);
+int HashPartition(std::string_view key, int num_reducers);
 
 }  // namespace shadoop::mapreduce
 

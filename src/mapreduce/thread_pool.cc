@@ -1,0 +1,110 @@
+#include "mapreduce/thread_pool.h"
+
+#include <algorithm>
+
+namespace shadoop::mapreduce {
+namespace {
+
+thread_local bool t_in_pool_worker = false;
+
+}  // namespace
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool pool(
+      std::max(0, static_cast<int>(std::thread::hardware_concurrency()) - 1));
+  return pool;
+}
+
+ThreadPool::ThreadPool(int num_workers) {
+  workers_.reserve(static_cast<size_t>(std::max(0, num_workers)));
+  for (int i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this]() { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  wake_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::RunBatch(Batch& batch) {
+  for (;;) {
+    const size_t i = batch.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= batch.n) return;
+    (*batch.fn)(i);
+    if (batch.completed.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        batch.n) {
+      std::lock_guard<std::mutex> lock(batch.done_mu);
+      batch.done_cv.notify_all();
+    }
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  t_in_pool_worker = true;
+  uint64_t seen_generation = 0;
+  for (;;) {
+    std::shared_ptr<Batch> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      wake_cv_.wait(lock, [&]() {
+        return stopping_ || (current_ != nullptr &&
+                             batch_generation_ != seen_generation);
+      });
+      if (stopping_) return;
+      seen_generation = batch_generation_;
+      batch = current_;
+    }
+    if (batch->extra_workers.fetch_sub(1, std::memory_order_acq_rel) <= 0) {
+      batch->extra_workers.fetch_add(1, std::memory_order_relaxed);
+      continue;  // Parallelism cap reached; wait for the next batch.
+    }
+    RunBatch(*batch);
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, int max_parallelism,
+                             const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  const int parallelism = static_cast<int>(std::min<size_t>(
+      n, static_cast<size_t>(std::max(
+             1, std::min(max_parallelism,
+                         num_workers() + 1)))));
+  std::unique_lock<std::mutex> run_lock(run_mu_, std::defer_lock);
+  if (parallelism <= 1 || t_in_pool_worker || !run_lock.try_lock()) {
+    // Serial fallback: single lane requested, nested call from a worker,
+    // or another caller already owns the pool.
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  auto batch = std::make_shared<Batch>();
+  batch->n = n;
+  batch->fn = &fn;
+  batch->extra_workers.store(parallelism - 1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    current_ = batch;
+    ++batch_generation_;
+  }
+  wake_cv_.notify_all();
+
+  RunBatch(*batch);  // The caller is one of the lanes.
+
+  {
+    std::unique_lock<std::mutex> lock(batch->done_mu);
+    batch->done_cv.wait(lock, [&]() {
+      return batch->completed.load(std::memory_order_acquire) == batch->n;
+    });
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (current_ == batch) current_ = nullptr;
+  }
+}
+
+}  // namespace shadoop::mapreduce

@@ -19,7 +19,7 @@ using mapreduce::MapContext;
 
 /// Rasterizes one record into `canvas`. Returns false on a parse error.
 bool RasterizeRecord(index::ShapeType shape, PlotLayer layer,
-                     double simplify_tolerance, const std::string& record,
+                     double simplify_tolerance, std::string_view record,
                      Canvas* canvas) {
   switch (layer) {
     case PlotLayer::kPoints: {
@@ -62,7 +62,7 @@ class PlotMapper : public mapreduce::Mapper {
         options_(options),
         canvas_(options.width, options.height, world) {}
 
-  void Map(const std::string& record, MapContext& ctx) override {
+  void Map(std::string_view record, MapContext& ctx) override {
     if (index::IsMetadataRecord(record)) return;
     if (!RasterizeRecord(shape_, options_.layer, options_.simplify_tolerance,
                          record, &canvas_)) {
@@ -148,7 +148,7 @@ class PyramidMapper : public mapreduce::Mapper {
                 Envelope world)
       : shape_(shape), options_(options), world_(world) {}
 
-  void Map(const std::string& record, MapContext& ctx) override {
+  void Map(std::string_view record, MapContext& ctx) override {
     if (index::IsMetadataRecord(record)) return;
     auto env = index::RecordEnvelope(shape_, record);
     if (!env.ok()) {

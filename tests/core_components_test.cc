@@ -160,7 +160,7 @@ TEST(FaultToleranceTest, TransientTaskFaultsDoNotChangeResults) {
   job.splits = mapreduce::MakeBlockSplits(cluster.fs, "/pts").ValueOrDie();
   class EchoMapper : public mapreduce::Mapper {
    public:
-    void Map(const std::string& record, mapreduce::MapContext& ctx) override {
+    void Map(std::string_view record, mapreduce::MapContext& ctx) override {
       ctx.WriteOutput(record);
     }
   };

@@ -146,8 +146,8 @@ TEST(MapReduceLifecycleTest, BeginBlockOrdinalsFollowSplitOrder) {
     void BeginBlock(size_t ordinal, mapreduce::MapContext&) override {
       ordinal_ = ordinal;
     }
-    void Map(const std::string& record, mapreduce::MapContext& ctx) override {
-      ctx.WriteOutput(std::to_string(ordinal_) + ":" + record);
+    void Map(std::string_view record, mapreduce::MapContext& ctx) override {
+      ctx.WriteOutput(std::to_string(ordinal_) + ":" + std::string(record));
     }
 
    private:
@@ -170,7 +170,7 @@ TEST(MapReduceLifecycleTest, FinishHookRunsOncePerReduceTask) {
   ASSERT_TRUE(cluster.fs.WriteLines("/in", {"k1 v", "k2 v", "k3 v"}).ok());
   class SplitKeyMapper : public mapreduce::Mapper {
    public:
-    void Map(const std::string& record, mapreduce::MapContext& ctx) override {
+    void Map(std::string_view record, mapreduce::MapContext& ctx) override {
       const auto fields = SplitWhitespace(record);
       ctx.Emit(std::string(fields[0]), std::string(fields[1]));
     }
@@ -205,7 +205,7 @@ TEST(MapReduceLifecycleTest, CustomPartitionerRoutesDeterministically) {
   ASSERT_TRUE(cluster.fs.WriteLines("/in", lines).ok());
   class EchoMapper : public mapreduce::Mapper {
    public:
-    void Map(const std::string& record, mapreduce::MapContext& ctx) override {
+    void Map(std::string_view record, mapreduce::MapContext& ctx) override {
       ctx.Emit(record, "1");
     }
   };
@@ -221,10 +221,9 @@ TEST(MapReduceLifecycleTest, CustomPartitionerRoutesDeterministically) {
   job.mapper = []() { return std::make_unique<EchoMapper>(); };
   job.reducer = []() { return std::make_unique<KeyReducer>(); };
   job.num_reducers = 4;
-  job.partitioner = [](const std::string& key, int reducers) {
+  job.partitioner = [](std::string_view key, int reducers) {
     // Route by the numeric suffix.
-    return static_cast<int>(
-        ParseInt64(std::string_view(key).substr(1)).ValueOrDie() % reducers);
+    return static_cast<int>(ParseInt64(key.substr(1)).ValueOrDie() % reducers);
   };
   const auto r1 = cluster.runner.Run(job);
   const auto r2 = cluster.runner.Run(job);

@@ -15,7 +15,7 @@ namespace {
 /// Classic word count: validates map -> shuffle -> reduce plumbing.
 class WordCountMapper : public Mapper {
  public:
-  void Map(const std::string& record, MapContext& ctx) override {
+  void Map(std::string_view record, MapContext& ctx) override {
     for (std::string_view word : SplitWhitespace(record)) {
       ctx.Emit(std::string(word), "1");
     }
@@ -114,8 +114,8 @@ TEST(MapReduceTest, MapOnlyJobWritesDirectOutput) {
   ASSERT_TRUE(cluster.fs.WriteLines("/in", {"1", "2", "3"}).ok());
   class PassMapper : public Mapper {
    public:
-    void Map(const std::string& record, MapContext& ctx) override {
-      ctx.WriteOutput("out:" + record);
+    void Map(std::string_view record, MapContext& ctx) override {
+      ctx.WriteOutput("out:" + std::string(record));
     }
   };
   JobConfig job;
@@ -134,7 +134,7 @@ TEST(MapReduceTest, InjectedFaultIsRetried) {
   ASSERT_TRUE(cluster.fs.WriteLines("/in", {"r"}).ok());
   class PassMapper : public Mapper {
    public:
-    void Map(const std::string& record, MapContext& ctx) override {
+    void Map(std::string_view record, MapContext& ctx) override {
       ctx.WriteOutput(record);
     }
   };
@@ -154,7 +154,7 @@ TEST(MapReduceTest, PersistentFaultFailsTheJob) {
   ASSERT_TRUE(cluster.fs.WriteLines("/in", {"r"}).ok());
   class PassMapper : public Mapper {
    public:
-    void Map(const std::string& record, MapContext& ctx) override {
+    void Map(std::string_view record, MapContext& ctx) override {
       ctx.WriteOutput(record);
     }
   };
@@ -171,8 +171,8 @@ TEST(MapReduceTest, UserFailureSurfacesStatus) {
   ASSERT_TRUE(cluster.fs.WriteLines("/in", {"bad"}).ok());
   class FailMapper : public Mapper {
    public:
-    void Map(const std::string& record, MapContext& ctx) override {
-      ctx.Fail(Status::ParseError("cannot parse " + record));
+    void Map(std::string_view record, MapContext& ctx) override {
+      ctx.Fail(Status::ParseError("cannot parse " + std::string(record)));
     }
   };
   JobConfig job;
@@ -188,7 +188,7 @@ TEST(MapReduceTest, CostModelChargesStartupAndScan) {
   ASSERT_TRUE(cluster.fs.WriteLines("/in", lines).ok());
   class NullMapper : public Mapper {
    public:
-    void Map(const std::string&, MapContext&) override {}
+    void Map(std::string_view, MapContext&) override {}
   };
   JobConfig job;
   job.splits = MakeBlockSplits(cluster.fs, "/in").ValueOrDie();

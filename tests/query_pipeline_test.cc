@@ -70,7 +70,7 @@ TEST(QueryPipelineTest, ScanFileTagsSplits) {
     void BeginSplit(MapContext& ctx) override {
       ctx.WriteOutput(ctx.split().meta);
     }
-    void Map(const std::string&, MapContext&) override {}
+    void Map(std::string_view, MapContext&) override {}
   };
   const JobResult result = SpatialJobBuilder(&cluster.runner)
                                .ScanFile("/a", "A")
