@@ -1,20 +1,27 @@
-// Wall-clock microbenchmarks for the zero-copy record fast path: index
+// Wall-clock microbenchmarks for the zero-copy record fast path — index
 // build, range query over a local-indexed file, and the polygon
-// distributed join. Unlike the simulated-cost suite (bench_*.cc on
-// google-benchmark), this harness measures *real* wall time, because the
-// zero-copy work changes host performance, not the simulated cost model.
+// distributed join — plus a fault-recovery scenario that reruns a query
+// sweep under deterministic task-fault injection (5% failures +
+// stragglers) and records the simulated recovery overhead. Unlike the
+// simulated-cost suite (bench_*.cc on google-benchmark), this harness
+// measures *real* wall time, because the zero-copy work changes host
+// performance, not the simulated cost model; the fault scenario
+// additionally reports the sim-time overhead of retries, backoff and
+// speculative re-execution.
 //
 // Usage:
 //   bench_hotpath --label <name> [--out results.json] [--reps N]
 //   bench_hotpath --merge baseline.json current.json
 //
 // The merge mode pairs benchmarks by name, computes speedups, prints the
-// combined report (scripts/bench.sh redirects it to BENCH_pr2.json), and
-// exits non-zero if the parse-once invariant failed: in a tree with
-// parse counters, each benchmark asserts the number of geometry parses
-// never exceeds its record-visit bound. The harness intentionally
-// compiles against trees that predate the counters (the baseline build
-// in scripts/bench.sh), reporting parses as -1 there.
+// combined report (scripts/bench.sh redirects it to BENCH_pr3.json), and
+// exits non-zero if an invariant failed: geometry parses exceeding the
+// record-visit bound, or fault-injected output diverging from the clean
+// run. Benchmarks with no baseline row (the fault scenario, against
+// trees that predate the fault subsystem) are still emitted, with
+// baseline fields set to -1. The harness intentionally compiles against
+// older trees (the baseline build in scripts/bench.sh): parse counters
+// report -1 there, and the fault scenario drops out via __has_include.
 
 #include <chrono>
 #include <cstdint>
@@ -33,6 +40,11 @@
 #include "index/record_shape.h"
 #include "mapreduce/job_runner.h"
 #include "workload/generators.h"
+
+#if __has_include("fault/fault_injector.h")
+#include "fault/fault_injector.h"
+#define SHADOOP_HAS_FAULT_INJECTION 1
+#endif
 
 namespace shadoop {
 namespace {
@@ -53,6 +65,7 @@ struct BenchResult {
   int64_t records = 0;          // Record-visit bound for the run.
   int64_t parses = -1;          // Geometry parses (-1: not measured).
   int64_t checksum = 0;         // Result size, guards against dead code.
+  double overhead_ms = -1;      // Simulated recovery overhead (-1: n/a).
 };
 
 double MsSince(std::chrono::steady_clock::time_point start) {
@@ -231,6 +244,72 @@ BenchResult BenchSpatialJoin(int reps) {
   return result;
 }
 
+#ifdef SHADOOP_HAS_FAULT_INJECTION
+BenchResult BenchFaultRecovery(int reps) {
+  BenchResult result;
+  result.name = "fault_recovery";
+  Cluster cluster;
+  workload::PointGenOptions gen;
+  gen.count = 100000;
+  gen.seed = 31;
+  gen.distribution = workload::Distribution::kUniform;
+  SHADOOP_CHECK_OK(workload::WritePointFile(&cluster.fs, "/pts", gen));
+
+  std::vector<Envelope> queries;
+  for (int i = 0; i < 12; ++i) {
+    const double x = (i * 211) % 900000;
+    const double y = (i * 433) % 900000;
+    queries.emplace_back(x, y, x + 100000, y + 100000);
+  }
+  auto sweep = [&](core::OpStats* stats) {
+    int64_t rows = 0;
+    for (const Envelope& query : queries) {
+      rows += static_cast<int64_t>(
+          core::RangeQueryHadoop(&cluster.runner, "/pts",
+                                 index::ShapeType::kPoint, query, stats)
+              .ValueOrDie()
+              .size());
+    }
+    return rows;
+  };
+
+  core::OpStats clean_stats;
+  const int64_t clean_rows = sweep(&clean_stats);
+
+  // The paper's recovery story: 5% of task attempts fail, 5% land on
+  // slow nodes and straggle into speculative re-execution.
+  fault::FaultPolicy policy;
+  policy.seed = 17;
+  policy.map_failure_prob = 0.05;
+  policy.reduce_failure_prob = 0.05;
+  policy.straggler_prob = 0.05;
+  fault::FaultInjector injector(policy);
+
+  result.wall_ms = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < reps; ++rep) {
+    core::OpStats stats;
+    cluster.runner.set_fault_injector(&injector);
+    const auto start = std::chrono::steady_clock::now();
+    const int64_t rows = sweep(&stats);
+    result.wall_ms = std::min(result.wall_ms, MsSince(start));
+    cluster.runner.set_fault_injector(nullptr);
+    if (rows != clean_rows) {
+      std::cerr << "FAIL: fault-injected sweep returned " << rows
+                << " rows, clean run returned " << clean_rows << "\n";
+      std::exit(1);
+    }
+    result.checksum = rows;
+    // Recovery overhead in *simulated* time: retries, exponential
+    // backoff and straggler delays all land in the cost model, so the
+    // delta against the clean sweep is deterministic.
+    result.overhead_ms = stats.cost.total_ms - clean_stats.cost.total_ms;
+  }
+  result.records =
+      static_cast<int64_t>(gen.count) * static_cast<int64_t>(queries.size());
+  return result;
+}
+#endif  // SHADOOP_HAS_FAULT_INJECTION
+
 // ---------------------------------------------------------------------
 // Ad-hoc JSON (one benchmark object per line, so the merge mode can
 // read it back with plain string scanning — no JSON library needed).
@@ -244,7 +323,8 @@ std::string ToJson(const std::string& label,
     out << "    {\"name\": \"" << r.name << "\", \"wall_ms\": "
         << r.wall_ms << ", \"records\": " << r.records
         << ", \"parses\": " << r.parses << ", \"checksum\": " << r.checksum
-        << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+        << ", \"overhead_ms\": " << r.overhead_ms << "}"
+        << (i + 1 < results.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
   return out.str();
@@ -300,6 +380,7 @@ bool LoadRun(const std::string& path, ParsedRun* run) {
     if (ExtractNumber(line, "checksum", &value)) {
       r.checksum = static_cast<int64_t>(value);
     }
+    if (ExtractNumber(line, "overhead_ms", &value)) r.overhead_ms = value;
     run->benchmarks.push_back(std::move(r));
   }
   return !run->benchmarks.empty();
@@ -319,21 +400,28 @@ int Merge(const std::string& baseline_path, const std::string& current_path) {
     for (const BenchResult& b : baseline.benchmarks) {
       if (b.name == cur.name) base = &b;
     }
-    if (base == nullptr) continue;
-    const double speedup = cur.wall_ms > 0 ? base->wall_ms / cur.wall_ms : 0;
+    // A benchmark the baseline tree cannot run (e.g. fault_recovery
+    // against a pre-fault-subsystem revision) is still reported, with
+    // the baseline columns pinned to -1.
+    const double base_wall = base != nullptr ? base->wall_ms : -1;
+    const int64_t base_parses = base != nullptr ? base->parses : -1;
+    const int64_t base_checksum = base != nullptr ? base->checksum : -1;
+    const double speedup =
+        base != nullptr && cur.wall_ms > 0 ? base_wall / cur.wall_ms : 0;
     if (speedup >= 2.0) speedup_target_met = true;
     // The parse-once invariant only applies to the current tree (the
     // baseline predates the counters and reports -1).
     const bool parses_ok = cur.parses < 0 || cur.parses <= cur.records;
     if (!parses_ok) parse_invariant_ok = false;
     rows << "    {\"name\": \"" << cur.name << "\", \"baseline_wall_ms\": "
-         << base->wall_ms << ", \"wall_ms\": " << cur.wall_ms
+         << base_wall << ", \"wall_ms\": " << cur.wall_ms
          << ", \"speedup\": " << speedup << ", \"records\": " << cur.records
          << ", \"parses\": " << cur.parses << ", \"baseline_parses\": "
-         << base->parses << ", \"parse_once_ok\": "
+         << base_parses << ", \"parse_once_ok\": "
          << (parses_ok ? "true" : "false") << ", \"checksum\": "
-         << cur.checksum << ", \"baseline_checksum\": " << base->checksum
-         << "}" << (i + 1 < current.benchmarks.size() ? "," : "") << "\n";
+         << cur.checksum << ", \"baseline_checksum\": " << base_checksum
+         << ", \"overhead_ms\": " << cur.overhead_ms << "}"
+         << (i + 1 < current.benchmarks.size() ? "," : "") << "\n";
   }
   std::cout << "{\n  \"bench\": \"zero-copy-hotpath\",\n"
             << "  \"baseline\": \"" << baseline.label << "\",\n"
@@ -352,10 +440,17 @@ int Merge(const std::string& baseline_path, const std::string& current_path) {
 
 int RunAll(const std::string& label, const std::string& out_path, int reps) {
   std::vector<BenchResult> results;
-  for (auto* bench : {&BenchIndexBuild, &BenchRangeQuery, &BenchSpatialJoin}) {
+  std::vector<BenchResult (*)(int)> benches = {&BenchIndexBuild,
+                                               &BenchRangeQuery,
+                                               &BenchSpatialJoin};
+#ifdef SHADOOP_HAS_FAULT_INJECTION
+  benches.push_back(&BenchFaultRecovery);
+#endif
+  for (auto* bench : benches) {
     const BenchResult r = bench(reps);
     std::cerr << r.name << ": " << r.wall_ms << " ms (parses=" << r.parses
-              << ", records=" << r.records << ")\n";
+              << ", records=" << r.records
+              << ", recovery_overhead_ms=" << r.overhead_ms << ")\n";
     if (r.parses >= 0 && r.parses > r.records) {
       std::cerr << "FAIL: " << r.name << " parsed " << r.parses
                 << " geometries for a bound of " << r.records << "\n";

@@ -1,15 +1,22 @@
 #!/usr/bin/env bash
-# Full verification pass: configure a dedicated sanitizer build tree,
-# compile with AddressSanitizer + UndefinedBehaviorSanitizer, and run the
-# whole test suite under them. Use this before sending a change for
-# review; the plain `build/` tree stays untouched for fast iteration.
+# Full verification pass, two sanitizer trees:
+#   1. AddressSanitizer + UndefinedBehaviorSanitizer over the whole test
+#      suite (memory and UB coverage).
+#   2. ThreadSanitizer over the concurrency-heavy suites — the MapReduce
+#      runtime, the zero-copy record path, and the fault-tolerance
+#      scheduler whose speculative attempts race by design.
+# Use this before sending a change for review; the plain `build/` tree
+# stays untouched for fast iteration.
 #
-# Usage: scripts/check.sh [build-dir]   (default: build-asan)
+# Usage: scripts/check.sh [asan-build-dir] [tsan-build-dir]
+#        (defaults: build-asan build-tsan)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-asan}"
+TSAN_DIR="${2:-build-tsan}"
 SAN_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer -fno-sanitize-recover=all"
+TSAN_FLAGS="-fsanitize=thread -fno-omit-frame-pointer"
 
 cmake -B "${BUILD_DIR}" -S . \
   -DCMAKE_BUILD_TYPE=Debug \
@@ -23,3 +30,21 @@ cmake --build "${BUILD_DIR}" -j "$(nproc)"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -R zero_copy_test
 
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)"
+
+# ---------------------------------------------------------------------
+# ThreadSanitizer pass. Kept to the suites that exercise real
+# concurrency so the (slow) TSan runtime stays affordable:
+#   - mapreduce_test: thread pool, shuffle, parallel map/reduce
+#   - zero_copy_test: shared block arenas across map attempts
+#   - fault_test: retries + speculative attempt races, commit-once CAS
+#   - robustness_test: fault-matrix sweep over whole operations
+cmake -B "${TSAN_DIR}" -S . \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DCMAKE_CXX_FLAGS="${TSAN_FLAGS}" \
+  -DCMAKE_EXE_LINKER_FLAGS="${TSAN_FLAGS}"
+cmake --build "${TSAN_DIR}" -j "$(nproc)" \
+  --target mapreduce_test zero_copy_test fault_test robustness_test
+
+TSAN_OPTIONS="halt_on_error=1" ctest --test-dir "${TSAN_DIR}" \
+  --output-on-failure \
+  -R '^(mapreduce_test|zero_copy_test|fault_test|robustness_test)$'

@@ -25,6 +25,10 @@ struct OpStats {
     cost.bytes_written += result.cost.bytes_written;
     cost.num_map_tasks += result.cost.num_map_tasks;
     cost.num_reduce_tasks += result.cost.num_reduce_tasks;
+    cost.task_retries += result.cost.task_retries;
+    cost.speculative_launched += result.cost.speculative_launched;
+    cost.speculative_won += result.cost.speculative_won;
+    cost.replica_failovers += result.cost.replica_failovers;
     counters.MergeFrom(result.counters);
     ++jobs_run;
     wall_ms += result.wall_ms;

@@ -3,8 +3,22 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "fault/fault_injector.h"
 
 namespace shadoop::hdfs {
+namespace {
+
+/// FNV-1a over the payload; never returns 0 (0 means "unrecorded").
+uint64_t BlockChecksum(const std::string& payload) {
+  uint64_t hash = 14695981039346656037ULL;
+  for (char c : payload) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;
+  }
+  return hash == 0 ? 1 : hash;
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // FileWriter
@@ -113,13 +127,47 @@ Result<std::shared_ptr<const std::string>> FileSystem::ReadBlockRaw(
       return Status::InvalidArgument("block index out of range for " + path);
     }
     const BlockMeta& block = it->second.blocks[block_index];
+    std::vector<int> alive;
+    alive.reserve(block.replica_nodes.size());
     for (int node : block.replica_nodes) {
-      if (node_alive_[node]) {
-        auto blk = nodes_[node].find(block.id);
-        SHADOOP_DCHECK(blk != nodes_[node].end());
-        payload = blk->second;
-        break;
+      if (node_alive_[node]) alive.push_back(node);
+    }
+    if (alive.empty()) {
+      return Status::IoError("all replicas unavailable for block " +
+                             std::to_string(block.id) + " of " + path);
+    }
+    fault::FaultInjector* injector =
+        fault_injector_.load(std::memory_order_acquire);
+    for (size_t r = 0; r < alive.size(); ++r) {
+      const int node = alive[r];
+      // The last alive replica is always allowed to succeed, so injected
+      // read faults degrade to failovers, never to data loss.
+      const bool last_resort = r + 1 == alive.size();
+      if (injector != nullptr && !last_resort) {
+        // Injected replica fault: a dead-disk I/O error, or corrupt bytes
+        // (modeled as a checksum mismatch). Either way the client skips
+        // this replica and fails over to the next one.
+        const fault::FaultInjector::ReadFault fault =
+            injector->ReadFaultAt(block.id, node);
+        if (fault != fault::FaultInjector::ReadFault::kNone) {
+          injector->RecordReplicaFailover(fault);
+          continue;
+        }
       }
+      auto blk = nodes_[node].find(block.id);
+      SHADOOP_DCHECK(blk != nodes_[node].end());
+      // End-to-end verification of genuinely corrupt stored bytes, active
+      // only for blocks whose checksum was recorded at write time.
+      if (block.checksum != 0 && !last_resort &&
+          BlockChecksum(*blk->second) != block.checksum) {
+        if (injector != nullptr) {
+          injector->RecordReplicaFailover(
+              fault::FaultInjector::ReadFault::kCorruption);
+        }
+        continue;
+      }
+      payload = blk->second;
+      break;
     }
     if (payload == nullptr) {
       return Status::IoError("all replicas unavailable for block " +
@@ -198,6 +246,11 @@ BlockMeta FileSystem::StoreBlock(std::string payload, size_t num_records) {
   meta.id = next_block_id_++;
   meta.num_bytes = payload.size();
   meta.num_records = num_records;
+  // Checksums exist to detect (injected) corruption; recording them only
+  // under an installed injector keeps the clean write path untouched.
+  if (fault_injector_.load(std::memory_order_acquire) != nullptr) {
+    meta.checksum = BlockChecksum(payload);
+  }
   auto shared = std::make_shared<const std::string>(std::move(payload));
   for (int r = 0; r < config_.replication; ++r) {
     const int node = (next_placement_node_ + r) % config_.num_datanodes;

@@ -13,6 +13,10 @@
 #include "common/status.h"
 #include "hdfs/hdfs_config.h"
 
+namespace shadoop::fault {
+class FaultInjector;
+}  // namespace shadoop::fault
+
 namespace shadoop::hdfs {
 
 /// Globally unique block identifier.
@@ -24,6 +28,10 @@ struct BlockMeta {
   size_t num_bytes = 0;
   size_t num_records = 0;
   std::vector<int> replica_nodes;  // Datanode ids holding a copy.
+  /// FNV-1a of the payload, recorded at write time when a fault injector
+  /// is installed; 0 means unrecorded (no verification on read). Lets the
+  /// client detect a corrupt replica read and fail over.
+  uint64_t checksum = 0;
 };
 
 /// Per-file metadata held by the namenode.
@@ -140,6 +148,18 @@ class FileSystem {
   void SetNodeAlive(int node_id, bool alive);
   int CountAliveNodes() const;
 
+  /// Installs a deterministic fault source for replica reads (I/O errors,
+  /// corrupt bytes caught by block checksums). Not owned; null (the
+  /// default) disables injection and block checksumming — the clean read
+  /// path is byte-for-byte the pre-fault one. Install before writing the
+  /// files whose reads should verify checksums.
+  void set_fault_injector(fault::FaultInjector* injector) {
+    fault_injector_.store(injector, std::memory_order_release);
+  }
+  fault::FaultInjector* fault_injector() const {
+    return fault_injector_.load(std::memory_order_acquire);
+  }
+
   IoStats& io_stats() { return io_stats_; }
   const IoStats& io_stats() const { return io_stats_; }
 
@@ -162,6 +182,7 @@ class FileSystem {
   BlockId next_block_id_ = 1;
   int next_placement_node_ = 0;
   mutable IoStats io_stats_;
+  std::atomic<fault::FaultInjector*> fault_injector_{nullptr};
 };
 
 /// Splits a block payload into records (lines). Exposed for the record

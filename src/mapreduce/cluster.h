@@ -34,6 +34,16 @@ struct ClusterConfig {
   /// Operations charged automatically for every record that passes
   /// through a map or reduce function (parse + function call).
   double ops_per_record = 2000.0;
+
+  /// Simulated wait before relaunching a failed task attempt; doubles per
+  /// consecutive failure of the same task (exponential backoff).
+  double retry_backoff_ms = 1000.0;
+
+  /// Speculative execution: when an attempt straggles past
+  /// `speculative_slack_ms` of simulated delay, a backup attempt is
+  /// launched and whichever attempt commits first wins.
+  bool speculative_execution = true;
+  double speculative_slack_ms = 5000.0;
 };
 
 /// Greedy list-scheduling makespan: assigns task costs in order to the

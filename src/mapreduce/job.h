@@ -11,6 +11,10 @@
 
 #include "common/status.h"
 
+namespace shadoop::fault {
+class FaultInjector;
+}  // namespace shadoop::fault
+
 namespace shadoop::mapreduce {
 
 /// One intermediate key-value pair. Keys and values are text, in the
@@ -172,6 +176,11 @@ struct JobConfig {
   std::string output_path;
   int max_task_attempts = 3;
   FaultInjector fault_injector;  // Optional, tests only.
+  /// Deterministic fault source driving the task-attempt scheduler (task
+  /// failures, stragglers). Not owned; null means no injection. Jobs run
+  /// through SpatialJobBuilder inherit the pipeline's injector instead of
+  /// setting this directly.
+  fault::FaultInjector* fault_source = nullptr;
 };
 
 /// Deterministic simulated-cost breakdown of a finished job (see
@@ -186,6 +195,13 @@ struct JobCost {
   uint64_t bytes_written = 0;
   int num_map_tasks = 0;
   int num_reduce_tasks = 0;
+
+  // Fault-tolerance counters (all zero on a fault-free run; retries,
+  // backoff waits and straggler delays also inflate the makespans above).
+  int64_t task_retries = 0;
+  int64_t speculative_launched = 0;
+  int64_t speculative_won = 0;
+  int64_t replica_failovers = 0;
 };
 
 struct JobResult {

@@ -1,11 +1,14 @@
 #include "mapreduce/job_runner.h"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
+#include "fault/fault_injector.h"
 #include "hdfs/block_arena.h"
+#include "mapreduce/task_scheduler.h"
 #include "mapreduce/thread_pool.h"
 
 namespace shadoop::mapreduce {
@@ -74,6 +77,7 @@ class MapContextImpl : public MapContext {
   std::vector<std::string> output_;              // Map-side final output.
   uint64_t emitted_bytes_ = 0;
   uint64_t output_bytes_ = 0;
+  uint64_t bytes_read_ = 0;
   TaskAccounting acct_;
 };
 
@@ -174,6 +178,20 @@ double CpuMs(const ClusterConfig& cfg, const TaskAccounting& acct) {
   return ops / cfg.cpu_ops_per_ms;
 }
 
+TaskSchedulerOptions SchedulerOptions(const JobConfig& job,
+                                      const ClusterConfig& cluster,
+                                      fault::TaskKind kind) {
+  TaskSchedulerOptions options;
+  options.job_name = job.name;
+  options.kind = kind;
+  options.max_task_attempts = job.max_task_attempts;
+  options.task_startup_ms = cluster.task_startup_ms;
+  options.retry_backoff_ms = cluster.retry_backoff_ms;
+  options.speculative_execution = cluster.speculative_execution;
+  options.speculative_slack_ms = cluster.speculative_slack_ms;
+  return options;
+}
+
 }  // namespace
 
 int HashPartition(std::string_view key, int num_reducers) {
@@ -215,78 +233,124 @@ JobResult JobRunner::Run(const JobConfig& job) {
     return result;
   }
 
+  fault::FaultInjector* injector =
+      job.fault_source != nullptr ? job.fault_source : fault_injector_;
+
+  // Read-fault counters are owned by the file system's injector; the
+  // job's share is the delta across the run.
+  fault::FaultInjector* fs_injector = fs_->fault_injector();
+  const uint64_t failovers_before =
+      fs_injector != nullptr ? fs_injector->replica_failovers() : 0;
+
   // ------------------------------------------------------------------
-  // Map phase.
+  // Map phase: each task runs as a sequence of attempts under the task
+  // scheduler. Every attempt builds a fresh, private context in its lane
+  // slot; only the committed attempt's context is published to
+  // `map_ctxs`, so a retried or speculative attempt can never double-emit
+  // (commit-once, DESIGN.md §9).
   const size_t num_maps = job.splits.size();
   std::vector<std::unique_ptr<MapContextImpl>> map_ctxs(num_maps);
-  std::vector<Status> map_status(num_maps);
-  std::vector<uint64_t> map_bytes_read(num_maps, 0);
+  std::vector<std::array<std::unique_ptr<MapContextImpl>, 2>> map_slots(
+      num_maps);
 
-  ParallelFor(num_maps, cluster_.num_slots, [&](size_t i) {
-    const InputSplit& split = job.splits[i];
-    Status last_error;
-    for (int attempt = 1; attempt <= job.max_task_attempts; ++attempt) {
-      auto ctx = std::make_unique<MapContextImpl>(split, num_reducers);
-      ctx->set_partitioner(job.partitioner);
-      if (job.fault_injector &&
-          job.fault_injector(static_cast<int>(i), attempt)) {
-        last_error = Status::IoError("injected fault in map task " +
-                                     std::to_string(i));
-        continue;
-      }
-      std::unique_ptr<Mapper> mapper = job.mapper();
-      mapper->BeginSplit(*ctx);
-      // The arena pins every block of the attempt, so record views stay
-      // valid across the whole split — through EndSplit() — without any
-      // per-record copies.
-      hdfs::BlockArena arena;
-      uint64_t bytes = 0;
-      Status read_status;
-      for (size_t ordinal = 0; ordinal < split.blocks.size(); ++ordinal) {
-        const BlockRef& block = split.blocks[ordinal];
-        auto payload = fs_->ReadBlockRaw(block.path, block.block_index);
-        if (!payload.ok()) {
-          read_status = payload.status();
-          break;
+  TaskScheduler map_sched(
+      SchedulerOptions(job, cluster_, fault::TaskKind::kMap), injector);
+  map_sched.RunTasks(
+      num_maps, cluster_.num_slots,
+      [&](size_t i, const AttemptInfo& info, int slot,
+          const std::atomic<bool>& cancelled) -> AttemptOutcome {
+        const InputSplit& split = job.splits[i];
+        // Legacy per-call fault hook (tests): fail before doing any work.
+        if (job.fault_injector &&
+            job.fault_injector(static_cast<int>(i), info.id)) {
+          return {Status::IoError("injected fault in map task " +
+                                  std::to_string(i)),
+                  /*transient=*/true};
         }
-        mapper->BeginBlock(ordinal, *ctx);
-        for (std::string_view record :
-             arena.AddBlock(std::move(payload).value())) {
-          bytes += record.size() + 1;
-          ++ctx->acct_.records_processed;
-          mapper->Map(record, *ctx);
+        auto ctx = std::make_unique<MapContextImpl>(split, num_reducers);
+        ctx->set_partitioner(job.partitioner);
+        std::unique_ptr<Mapper> mapper = job.mapper();
+        mapper->BeginSplit(*ctx);
+        // The arena pins every block of the attempt, so record views stay
+        // valid across the whole split — through EndSplit() — without any
+        // per-record copies.
+        hdfs::BlockArena arena;
+        uint64_t bytes = 0;
+        for (size_t ordinal = 0; ordinal < split.blocks.size(); ++ordinal) {
+          if (cancelled.load(std::memory_order_acquire)) {
+            return {Status::Cancelled("map attempt killed by rival commit"),
+                    /*transient=*/true};
+          }
+          const BlockRef& block = split.blocks[ordinal];
+          auto payload = fs_->ReadBlockRaw(block.path, block.block_index);
+          if (!payload.ok()) {
+            // Transient: a replica may still be alive on retry.
+            return {payload.status(), /*transient=*/true};
+          }
+          mapper->BeginBlock(ordinal, *ctx);
+          for (std::string_view record :
+               arena.AddBlock(std::move(payload).value())) {
+            bytes += record.size() + 1;
+            ++ctx->acct_.records_processed;
+            mapper->Map(record, *ctx);
+            if (!ctx->acct_.status.ok()) break;
+          }
           if (!ctx->acct_.status.ok()) break;
         }
-        if (!ctx->acct_.status.ok()) break;
-      }
-      if (!read_status.ok()) {
-        last_error = read_status;
-        continue;  // Retry; a replica may still be alive.
-      }
-      if (!ctx->acct_.status.ok()) {
-        last_error = ctx->acct_.status;
-        break;  // User-code failure: retrying would repeat it.
-      }
-      mapper->EndSplit(*ctx);
-      if (!ctx->acct_.status.ok()) {
-        last_error = ctx->acct_.status;
-        break;
-      }
-      map_bytes_read[i] = bytes;
-      map_ctxs[i] = std::move(ctx);
-      return;
-    }
-    map_status[i] = last_error.ok()
-                        ? Status::Internal("map task failed without error")
-                        : last_error;
-  });
+        if (ctx->acct_.status.ok()) mapper->EndSplit(*ctx);
+        if (!ctx->acct_.status.ok()) {
+          // User-code failure: deterministic, retrying would repeat it.
+          return {ctx->acct_.status, /*transient=*/false};
+        }
+        ctx->bytes_read_ = bytes;
+        map_slots[i][slot] = std::move(ctx);
+        return {};
+      },
+      [&](size_t i, int slot) {
+        map_ctxs[i] = std::move(map_slots[i][slot]);
+      });
+  map_slots.clear();  // Discard losing attempts' partial output.
 
-  for (size_t i = 0; i < num_maps; ++i) {
-    if (!map_status[i].ok()) {
-      result.status = map_status[i];
-      result.wall_ms = wall.ElapsedMillis();
-      return result;
+  TaskScheduler reduce_sched(
+      SchedulerOptions(job, cluster_, fault::TaskKind::kReduce), injector);
+
+  auto finish_fault_accounting = [&] {
+    result.cost.task_retries =
+        map_sched.task_retries() + reduce_sched.task_retries();
+    result.cost.speculative_launched =
+        map_sched.speculative_launched() + reduce_sched.speculative_launched();
+    result.cost.speculative_won =
+        map_sched.speculative_won() + reduce_sched.speculative_won();
+    if (fs_injector != nullptr) {
+      result.cost.replica_failovers = static_cast<int64_t>(
+          fs_injector->replica_failovers() - failovers_before);
     }
+    // Counters appear only when nonzero, so fault-free runs (and the
+    // golden parity suite) serialize byte-identically to the pre-fault
+    // runtime.
+    if (result.cost.task_retries > 0) {
+      result.counters.Increment("fault.task_retries",
+                                result.cost.task_retries);
+    }
+    if (result.cost.speculative_launched > 0) {
+      result.counters.Increment("fault.speculative_launched",
+                                result.cost.speculative_launched);
+    }
+    if (result.cost.speculative_won > 0) {
+      result.counters.Increment("fault.speculative_won",
+                                result.cost.speculative_won);
+    }
+    if (result.cost.replica_failovers > 0) {
+      result.counters.Increment("fault.replica_failovers",
+                                result.cost.replica_failovers);
+    }
+  };
+
+  if (!map_sched.ok()) {
+    finish_fault_accounting();
+    result.status = map_sched.MakeStatus();
+    result.wall_ms = wall.ElapsedMillis();
+    return result;
   }
 
   // Optional combiner: per map task, sort + group + combine in place,
@@ -358,36 +422,55 @@ JobResult JobRunner::Run(const JobConfig& job) {
     }
   }
 
+  // Sort each reduce input once, before any attempt runs: concurrent
+  // speculative attempts then share the sorted run read-only, so a
+  // re-executed reducer sees bit-identical input.
+  ParallelFor(static_cast<size_t>(num_reducers), cluster_.num_slots,
+              [&](size_t r) {
+                std::sort(reduce_inputs[r].begin(), reduce_inputs[r].end(),
+                          ShuffleRefLess);
+              });
+
   // ------------------------------------------------------------------
-  // Reduce phase.
-  std::vector<ReduceContextImpl> reduce_ctxs(num_reducers);
+  // Reduce phase, under the same attempt scheduler as the map phase.
+  std::vector<std::unique_ptr<ReduceContextImpl>> reduce_ctxs(num_reducers);
   if (has_reduce) {
-    ParallelFor(static_cast<size_t>(num_reducers), cluster_.num_slots,
-                [&](size_t r) {
-                  std::sort(reduce_inputs[r].begin(), reduce_inputs[r].end(),
-                            ShuffleRefLess);
-                  std::unique_ptr<Reducer> reducer = job.reducer();
-                  reduce_ctxs[r].acct_.records_processed +=
-                      reduce_inputs[r].size();
-                  ReduceSortedRun(reduce_inputs[r], *reducer, reduce_ctxs[r]);
-                });
-    for (int r = 0; r < num_reducers; ++r) {
-      if (!reduce_ctxs[r].acct_.status.ok()) {
-        result.status = reduce_ctxs[r].acct_.status;
-        result.wall_ms = wall.ElapsedMillis();
-        return result;
-      }
+    std::vector<std::array<std::unique_ptr<ReduceContextImpl>, 2>>
+        reduce_slots(num_reducers);
+    reduce_sched.RunTasks(
+        static_cast<size_t>(num_reducers), cluster_.num_slots,
+        [&](size_t r, const AttemptInfo& info, int slot,
+            const std::atomic<bool>& cancelled) -> AttemptOutcome {
+          (void)info;
+          (void)cancelled;
+          auto ctx = std::make_unique<ReduceContextImpl>();
+          std::unique_ptr<Reducer> reducer = job.reducer();
+          ctx->acct_.records_processed += reduce_inputs[r].size();
+          ReduceSortedRun(reduce_inputs[r], *reducer, *ctx);
+          if (!ctx->acct_.status.ok()) {
+            return {ctx->acct_.status, /*transient=*/false};
+          }
+          reduce_slots[r][slot] = std::move(ctx);
+          return {};
+        },
+        [&](size_t r, int slot) {
+          reduce_ctxs[r] = std::move(reduce_slots[r][slot]);
+        });
+    if (!reduce_sched.ok()) {
+      finish_fault_accounting();
+      result.status = reduce_sched.MakeStatus();
+      result.wall_ms = wall.ElapsedMillis();
+      return result;
     }
   } else {
     // Map-only job: emitted pairs (if any) pass through as "key<TAB>value".
     for (int r = 0; r < num_reducers; ++r) {
-      std::sort(reduce_inputs[r].begin(), reduce_inputs[r].end(),
-                ShuffleRefLess);
+      reduce_ctxs[r] = std::make_unique<ReduceContextImpl>();
       for (const ShuffleRef& ref : reduce_inputs[r]) {
-        reduce_ctxs[r].Write(ref.key_len == 0
-                                 ? std::string(ref.value())
-                                 : std::string(ref.key()) + "\t" +
-                                       std::string(ref.value()));
+        reduce_ctxs[r]->Write(ref.key_len == 0
+                                  ? std::string(ref.value())
+                                  : std::string(ref.key()) + "\t" +
+                                        std::string(ref.value()));
       }
     }
   }
@@ -401,12 +484,13 @@ JobResult JobRunner::Run(const JobConfig& job) {
       result.output.push_back(std::move(line));
     }
   }
-  for (ReduceContextImpl& ctx : reduce_ctxs) {
-    result.counters.MergeFrom(ctx.acct_.counters);
-    for (std::string& line : ctx.output_) {
+  for (std::unique_ptr<ReduceContextImpl>& ctx : reduce_ctxs) {
+    result.counters.MergeFrom(ctx->acct_.counters);
+    for (std::string& line : ctx->output_) {
       result.output.push_back(std::move(line));
     }
   }
+  finish_fault_accounting();
 
   if (!job.output_path.empty()) {
     Status write_status = fs_->WriteLines(job.output_path, result.output);
@@ -418,21 +502,24 @@ JobResult JobRunner::Run(const JobConfig& job) {
   }
 
   // ------------------------------------------------------------------
-  // Deterministic simulated cost.
+  // Deterministic simulated cost. Retries, backoff waits and straggler
+  // delays show up as per-task overhead from the scheduler reports —
+  // pure functions of the fault policy, independent of real scheduling.
   std::vector<double> map_costs;
   map_costs.reserve(num_maps);
   uint64_t total_read = 0;
   uint64_t map_output_bytes = 0;
   for (size_t i = 0; i < num_maps; ++i) {
     MapContextImpl& ctx = *map_ctxs[i];
-    total_read += map_bytes_read[i];
+    total_read += ctx.bytes_read_;
     map_output_bytes += ctx.output_bytes_;
     const double io_ms =
-        static_cast<double>(map_bytes_read[i]) / cluster_.disk_bytes_per_ms +
+        static_cast<double>(ctx.bytes_read_) / cluster_.disk_bytes_per_ms +
         static_cast<double>(ctx.emitted_bytes_ + ctx.output_bytes_) /
             cluster_.disk_bytes_per_ms;
     map_costs.push_back(cluster_.task_startup_ms + io_ms +
-                        CpuMs(cluster_, ctx.acct_));
+                        CpuMs(cluster_, ctx.acct_) +
+                        map_sched.reports()[i].sim_overhead_ms);
   }
 
   std::vector<double> reduce_costs;
@@ -444,12 +531,13 @@ JobResult JobRunner::Run(const JobConfig& job) {
       for (const ShuffleRef& ref : reduce_inputs[r]) {
         in_bytes += ref.key_len + ref.value_len;
       }
-      reduce_output_bytes += reduce_ctxs[r].output_bytes_;
+      reduce_output_bytes += reduce_ctxs[r]->output_bytes_;
       const double io_ms =
-          static_cast<double>(in_bytes + reduce_ctxs[r].output_bytes_) /
+          static_cast<double>(in_bytes + reduce_ctxs[r]->output_bytes_) /
           cluster_.disk_bytes_per_ms;
       reduce_costs.push_back(cluster_.task_startup_ms + io_ms +
-                             CpuMs(cluster_, reduce_ctxs[r].acct_));
+                             CpuMs(cluster_, reduce_ctxs[r]->acct_) +
+                             reduce_sched.reports()[r].sim_overhead_ms);
     }
   }
 

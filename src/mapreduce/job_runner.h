@@ -16,8 +16,10 @@ namespace shadoop::mapreduce {
 /// metric the benchmark suite reports, because it is machine-independent
 /// and reproduces the paper's cost structure (job startup, scan, shuffle).
 ///
-/// Failed map attempts (I/O errors on dead datanodes, injected faults) are
-/// retried up to JobConfig::max_task_attempts before failing the job.
+/// Failed task attempts (I/O errors on dead datanodes, injected faults)
+/// are retried with exponential backoff up to JobConfig::max_task_attempts
+/// before failing the job; stragglers are speculatively re-executed. See
+/// TaskScheduler and DESIGN.md §9.
 class JobRunner {
  public:
   JobRunner(hdfs::FileSystem* fs, ClusterConfig cluster = ClusterConfig())
@@ -26,6 +28,14 @@ class JobRunner {
   const ClusterConfig& cluster() const { return cluster_; }
   hdfs::FileSystem* file_system() const { return fs_; }
 
+  /// Installs the deterministic fault source used by every subsequent
+  /// Run() (unless the job overrides it via JobConfig::fault_source).
+  /// Not owned; null (the default) disables task-fault injection.
+  void set_fault_injector(fault::FaultInjector* injector) {
+    fault_injector_ = injector;
+  }
+  fault::FaultInjector* fault_injector() const { return fault_injector_; }
+
   /// Runs the job to completion. Never throws; failures are reported in
   /// JobResult::status.
   JobResult Run(const JobConfig& job);
@@ -33,6 +43,7 @@ class JobRunner {
  private:
   hdfs::FileSystem* fs_;
   ClusterConfig cluster_;
+  fault::FaultInjector* fault_injector_ = nullptr;
 };
 
 /// Builds one split per block of `path`, with empty metadata — the

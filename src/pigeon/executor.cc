@@ -21,6 +21,16 @@ Status ErrorAt(int line, const std::string& message) {
                                  message);
 }
 
+/// Prefixes a failure (e.g. a job abort carrying the failing task id and
+/// attempt history) with the statement's line, preserving the status code
+/// so callers can still distinguish I/O from user errors. Statuses already
+/// anchored to a line pass through untouched.
+Status AtLine(int line, const Status& status) {
+  if (status.ok() || status.message().rfind("line ", 0) == 0) return status;
+  return Status(status.code(),
+                "line " + std::to_string(line) + ": " + status.message());
+}
+
 std::vector<std::string> PointsToLines(const std::vector<Point>& points) {
   std::vector<std::string> lines;
   lines.reserve(points.size());
@@ -36,8 +46,9 @@ Result<ExecutionReport> Executor::Execute(std::string_view script) {
   for (const Statement& stmt : statements) {
     switch (stmt.kind) {
       case Statement::Kind::kAssign: {
-        SHADOOP_ASSIGN_OR_RETURN(Dataset dataset, Eval(stmt.expr, &report));
-        env_[stmt.target] = std::move(dataset);
+        Result<Dataset> dataset = Eval(stmt.expr, &report);
+        if (!dataset.ok()) return AtLine(stmt.line, dataset.status());
+        env_[stmt.target] = std::move(dataset).value();
         break;
       }
       case Statement::Kind::kStore: {
@@ -82,6 +93,18 @@ Result<ExecutionReport> Executor::Execute(std::string_view script) {
             line += "materialized result (" +
                     std::to_string(dataset.lines.size()) + " records)";
             break;
+        }
+        // Fault-tolerance work done by the script so far; absent on clean
+        // runs so existing EXPLAIN output stays byte-identical.
+        const mapreduce::JobCost& cost = report.stats.cost;
+        if (cost.task_retries > 0 || cost.speculative_launched > 0 ||
+            cost.replica_failovers > 0) {
+          line += "; exec: task_retries=" +
+                  std::to_string(cost.task_retries) + ", speculative=" +
+                  std::to_string(cost.speculative_launched) + "/won=" +
+                  std::to_string(cost.speculative_won) +
+                  ", replica_failovers=" +
+                  std::to_string(cost.replica_failovers);
         }
         report.dump_output.push_back(std::move(line));
         break;

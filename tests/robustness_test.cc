@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include "core/range_query.h"
+#include "core/spatial_join.h"
+#include "fault/fault_injector.h"
 #include "geometry/wkt.h"
 #include "index/global_index.h"
 #include "index/index_builder.h"
@@ -162,6 +164,141 @@ TEST(PigeonRobustnessTest, ExecutorErrorsNameTheLine) {
   ASSERT_TRUE(status.IsInvalidArgument());
   EXPECT_NE(status.message().find("line 4"), std::string::npos)
       << status.ToString();
+}
+
+TEST(PigeonRobustnessTest, TaskAbortSurfacesAttemptHistoryWithLine) {
+  testing::TestCluster cluster;
+  ASSERT_TRUE(cluster.fs.WriteLines("/pts", {"1,1", "2,2"}).ok());
+  // An injector that fails every attempt makes the first job of the
+  // statement exhaust its retry budget; the executor's error must carry
+  // the statement line, the failing task and the attempt history.
+  fault::FaultPolicy policy;
+  policy.seed = 3;
+  policy.map_failure_prob = 1.0;
+  policy.reduce_failure_prob = 1.0;
+  fault::FaultInjector injector(policy);
+  cluster.runner.set_fault_injector(&injector);
+  pigeon::Executor executor(&cluster.runner);
+  const auto status =
+      executor.Execute("p = LOAD '/pts' AS POINT;\nx = RANGE p "
+                       "RECTANGLE(0,0,10,10);")
+          .status();
+  cluster.runner.set_fault_injector(nullptr);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("line 2"), std::string::npos)
+      << status.ToString();
+  EXPECT_NE(status.message().find("task 0"), std::string::npos)
+      << status.ToString();
+  EXPECT_NE(status.message().find("attempt(s)"), std::string::npos)
+      << status.ToString();
+  EXPECT_NE(status.message().find("#3 FAILED"), std::string::npos)
+      << status.ToString();
+}
+
+// ---------------------------------------------------------------------
+// Fault-matrix sweep: seeds × failure rates × ops. The invariant under
+// deterministic fault injection is checksum parity — every op's rows are
+// identical to the fault-free run; only the fault counters move, and they
+// move monotonically with the injected rates.
+
+struct SweepOutcome {
+  std::vector<std::string> index_lines;  // Global index of the build.
+  std::vector<std::string> range_rows;
+  std::vector<std::string> join_rows;
+  int64_t task_retries = 0;
+  int64_t speculative_launched = 0;
+  int64_t replica_failovers = 0;
+};
+
+/// Runs index build + range query + spatial join on a fresh cluster with
+/// the given fault policy (all-zero = clean run).
+SweepOutcome RunFaultMatrixCell(uint64_t seed, double task_failure_rate,
+                                double read_fault_rate) {
+  testing::TestCluster cluster;
+  fault::FaultPolicy policy;
+  policy.seed = seed;
+  policy.map_failure_prob = task_failure_rate;
+  policy.reduce_failure_prob = task_failure_rate;
+  policy.straggler_prob = task_failure_rate;
+  policy.read_io_error_prob = read_fault_rate;
+  policy.read_corruption_prob = read_fault_rate / 2;
+  fault::FaultInjector injector(policy);
+  if (policy.AnyTaskFaults()) cluster.runner.set_fault_injector(&injector);
+  if (policy.AnyReadFaults()) cluster.fs.set_fault_injector(&injector);
+
+  testing::WritePoints(&cluster.fs, "/a", 600, workload::Distribution::kUniform,
+                       /*seed=*/5);
+  workload::RectGenOptions rects;
+  rects.centers.count = 250;
+  rects.centers.seed = 6;
+  rects.max_side_fraction = 0.04;
+  EXPECT_TRUE(cluster.fs
+                  .WriteLines("/ra", workload::RectanglesToRecords(
+                                         workload::GenerateRectangles(rects)))
+                  .ok());
+  rects.centers.count = 200;
+  rects.centers.seed = 7;
+  EXPECT_TRUE(cluster.fs
+                  .WriteLines("/rb", workload::RectanglesToRecords(
+                                         workload::GenerateRectangles(rects)))
+                  .ok());
+
+  SweepOutcome outcome;
+  core::OpStats stats;
+
+  const index::SpatialFileInfo file = testing::BuildIndex(
+      &cluster.runner, "/a", "/a.idx", PartitionScheme::kStr);
+  outcome.index_lines = file.global_index.ToLines();
+
+  outcome.range_rows =
+      core::RangeQuerySpatial(&cluster.runner, file,
+                              Envelope(2e5, 2e5, 7e5, 7e5), &stats)
+          .ValueOrDie();
+  outcome.join_rows = core::SjmrJoin(&cluster.runner, "/ra",
+                                     index::ShapeType::kRectangle, "/rb",
+                                     index::ShapeType::kRectangle, &stats)
+                          .ValueOrDie();
+
+  outcome.task_retries = stats.cost.task_retries;
+  outcome.speculative_launched = stats.cost.speculative_launched;
+  outcome.replica_failovers =
+      static_cast<int64_t>(injector.replica_failovers());
+  return outcome;
+}
+
+TEST(FaultMatrixTest, ChecksumParityAndCounterMonotonicityAcrossTheMatrix) {
+  const SweepOutcome clean = RunFaultMatrixCell(0, 0.0, 0.0);
+  ASSERT_FALSE(clean.range_rows.empty());
+  ASSERT_FALSE(clean.join_rows.empty());
+  EXPECT_EQ(clean.task_retries, 0);
+  EXPECT_EQ(clean.replica_failovers, 0);
+
+  for (uint64_t seed : {101u, 202u, 303u}) {
+    // Task-fault sweep (two rates, same seed): identical rows; retries
+    // monotone in the rate — the per-attempt failure draws are threshold
+    // comparisons, so raising the rate only adds failures.
+    const SweepOutcome low = RunFaultMatrixCell(seed, 0.05, 0.0);
+    const SweepOutcome high = RunFaultMatrixCell(seed, 0.12, 0.0);
+    for (const SweepOutcome* faulty : {&low, &high}) {
+      EXPECT_EQ(faulty->index_lines, clean.index_lines) << "seed " << seed;
+      EXPECT_EQ(faulty->range_rows, clean.range_rows) << "seed " << seed;
+      EXPECT_EQ(faulty->join_rows, clean.join_rows) << "seed " << seed;
+    }
+    EXPECT_LE(low.task_retries, high.task_retries) << "seed " << seed;
+    EXPECT_LE(low.speculative_launched, high.speculative_launched)
+        << "seed " << seed;
+
+    // Read-fault sweep: replica failovers recover silently (identical
+    // rows) and grow with the rate.
+    const SweepOutcome read_low = RunFaultMatrixCell(seed, 0.0, 0.2);
+    const SweepOutcome read_high = RunFaultMatrixCell(seed, 0.0, 0.5);
+    EXPECT_EQ(read_low.range_rows, clean.range_rows) << "seed " << seed;
+    EXPECT_EQ(read_high.join_rows, clean.join_rows) << "seed " << seed;
+    EXPECT_EQ(read_high.index_lines, clean.index_lines) << "seed " << seed;
+    EXPECT_GT(read_high.replica_failovers, 0) << "seed " << seed;
+    EXPECT_LE(read_low.replica_failovers, read_high.replica_failovers)
+        << "seed " << seed;
+  }
 }
 
 // ---------------------------------------------------------------------
