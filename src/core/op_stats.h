@@ -29,6 +29,9 @@ struct OpStats {
     cost.speculative_launched += result.cost.speculative_launched;
     cost.speculative_won += result.cost.speculative_won;
     cost.replica_failovers += result.cost.replica_failovers;
+    cost.admission_queued += result.cost.admission_queued;
+    cost.admission_wait_ms += result.cost.admission_wait_ms;
+    cost.admission_preempted_specs += result.cost.admission_preempted_specs;
     counters.MergeFrom(result.counters);
     ++jobs_run;
     wall_ms += result.wall_ms;

@@ -202,6 +202,12 @@ struct JobCost {
   int64_t speculative_launched = 0;
   int64_t speculative_won = 0;
   int64_t replica_failovers = 0;
+
+  // Multi-tenant admission counters (all zero without an admission
+  // controller, or when the job never waited — see DESIGN.md §10).
+  int64_t admission_queued = 0;       // 1 when this job queued for a slot.
+  double admission_wait_ms = 0;       // Simulated queue wait.
+  int64_t admission_preempted_specs = 0;  // Backups denied by the quota.
 };
 
 struct JobResult {

@@ -180,15 +180,20 @@ double CpuMs(const ClusterConfig& cfg, const TaskAccounting& acct) {
 
 TaskSchedulerOptions SchedulerOptions(const JobConfig& job,
                                       const ClusterConfig& cluster,
-                                      fault::TaskKind kind) {
+                                      fault::TaskKind kind,
+                                      int max_attempts_override,
+                                      AttemptGate* gate) {
   TaskSchedulerOptions options;
   options.job_name = job.name;
   options.kind = kind;
-  options.max_task_attempts = job.max_task_attempts;
+  options.max_task_attempts = max_attempts_override > 0
+                                  ? max_attempts_override
+                                  : job.max_task_attempts;
   options.task_startup_ms = cluster.task_startup_ms;
   options.retry_backoff_ms = cluster.retry_backoff_ms;
   options.speculative_execution = cluster.speculative_execution;
   options.speculative_slack_ms = cluster.speculative_slack_ms;
+  options.gate = gate;
   return options;
 }
 
@@ -220,6 +225,52 @@ Result<std::vector<InputSplit>> MakeBlockSplits(const hdfs::FileSystem& fs,
 }
 
 JobResult JobRunner::Run(const JobConfig& job) {
+  if (admission_ == nullptr) {
+    return RunAdmitted(job, cluster_.num_slots, /*gate=*/nullptr);
+  }
+  // Admission gate: blocks until the session's tenant has a free job
+  // slot (FIFO within the tenant; other tenants' queues are independent)
+  // and pins the tenant's deterministic lane share for the whole run.
+  auto admit = admission_->AdmitJob(tenant_);
+  if (!admit.ok()) {
+    JobResult result;
+    result.status = admit.status();
+    return result;
+  }
+  std::unique_ptr<AdmissionController::JobTicket> ticket =
+      std::move(admit).value();
+  const int lanes =
+      std::max(1, std::min(cluster_.num_slots, ticket->lane_share()));
+  JobResult result = RunAdmitted(job, lanes, ticket.get());
+
+  // Admission accounting rides on the result the same way the fault
+  // counters do: JobCost fields always, Counters entries only when
+  // nonzero, so un-contended runs stay byte-identical.
+  result.cost.admission_wait_ms = ticket->sim_wait_ms();
+  result.cost.admission_queued = ticket->sim_wait_ms() > 0 ? 1 : 0;
+  result.cost.admission_preempted_specs = ticket->preempted_specs();
+  if (result.cost.admission_queued > 0) {
+    result.counters.Increment("admission.queued",
+                              result.cost.admission_queued);
+  }
+  if (result.cost.admission_wait_ms > 0) {
+    result.counters.Increment(
+        "admission.wait_ms",
+        static_cast<int64_t>(result.cost.admission_wait_ms + 0.5));
+  }
+  if (result.cost.admission_preempted_specs > 0) {
+    result.counters.Increment("admission.preempted_specs",
+                              result.cost.admission_preempted_specs);
+  }
+  // Release even for failed jobs: a job that aborted mid-phase still
+  // held its slot (an aborted job's total_ms is 0, so it adds no
+  // simulated backlog to the tenant's ledger).
+  admission_->ReleaseJob(ticket.get(), result.cost.total_ms);
+  return result;
+}
+
+JobResult JobRunner::RunAdmitted(const JobConfig& job, int lanes,
+                                 AttemptGate* gate) {
   Stopwatch wall;
   JobResult result;
   result.cost.num_map_tasks = static_cast<int>(job.splits.size());
@@ -254,9 +305,11 @@ JobResult JobRunner::Run(const JobConfig& job) {
       num_maps);
 
   TaskScheduler map_sched(
-      SchedulerOptions(job, cluster_, fault::TaskKind::kMap), injector);
+      SchedulerOptions(job, cluster_, fault::TaskKind::kMap,
+                       max_task_attempts_override_, gate),
+      injector);
   map_sched.RunTasks(
-      num_maps, cluster_.num_slots,
+      num_maps, lanes,
       [&](size_t i, const AttemptInfo& info, int slot,
           const std::atomic<bool>& cancelled) -> AttemptOutcome {
         const InputSplit& split = job.splits[i];
@@ -312,7 +365,9 @@ JobResult JobRunner::Run(const JobConfig& job) {
   map_slots.clear();  // Discard losing attempts' partial output.
 
   TaskScheduler reduce_sched(
-      SchedulerOptions(job, cluster_, fault::TaskKind::kReduce), injector);
+      SchedulerOptions(job, cluster_, fault::TaskKind::kReduce,
+                       max_task_attempts_override_, gate),
+      injector);
 
   auto finish_fault_accounting = [&] {
     result.cost.task_retries =
@@ -356,7 +411,7 @@ JobResult JobRunner::Run(const JobConfig& job) {
   // Optional combiner: per map task, sort + group + combine in place,
   // then rebuild the task's shuffle buffer from the combined pairs.
   if (job.combiner) {
-    ParallelFor(num_maps, cluster_.num_slots, [&](size_t i) {
+    ParallelFor(num_maps, lanes, [&](size_t i) {
       MapContextImpl& ctx = *map_ctxs[i];
       std::unique_ptr<Reducer> combiner = job.combiner();
       uint64_t new_bytes = 0;
@@ -425,7 +480,7 @@ JobResult JobRunner::Run(const JobConfig& job) {
   // Sort each reduce input once, before any attempt runs: concurrent
   // speculative attempts then share the sorted run read-only, so a
   // re-executed reducer sees bit-identical input.
-  ParallelFor(static_cast<size_t>(num_reducers), cluster_.num_slots,
+  ParallelFor(static_cast<size_t>(num_reducers), lanes,
               [&](size_t r) {
                 std::sort(reduce_inputs[r].begin(), reduce_inputs[r].end(),
                           ShuffleRefLess);
@@ -438,7 +493,7 @@ JobResult JobRunner::Run(const JobConfig& job) {
     std::vector<std::array<std::unique_ptr<ReduceContextImpl>, 2>>
         reduce_slots(num_reducers);
     reduce_sched.RunTasks(
-        static_cast<size_t>(num_reducers), cluster_.num_slots,
+        static_cast<size_t>(num_reducers), lanes,
         [&](size_t r, const AttemptInfo& info, int slot,
             const std::atomic<bool>& cancelled) -> AttemptOutcome {
           (void)info;
@@ -544,10 +599,10 @@ JobResult JobRunner::Run(const JobConfig& job) {
   result.cost.bytes_read = total_read;
   result.cost.bytes_shuffled = shuffle_bytes;
   result.cost.bytes_written = map_output_bytes + reduce_output_bytes;
-  result.cost.map_makespan_ms = Makespan(map_costs, cluster_.num_slots);
+  result.cost.map_makespan_ms = Makespan(map_costs, lanes);
   result.cost.shuffle_ms =
       static_cast<double>(shuffle_bytes) / cluster_.net_bytes_per_ms;
-  result.cost.reduce_makespan_ms = Makespan(reduce_costs, cluster_.num_slots);
+  result.cost.reduce_makespan_ms = Makespan(reduce_costs, lanes);
   result.cost.total_ms = cluster_.job_startup_ms + result.cost.map_makespan_ms +
                          result.cost.shuffle_ms +
                          result.cost.reduce_makespan_ms;

@@ -1,7 +1,10 @@
 #ifndef SHADOOP_MAPREDUCE_JOB_RUNNER_H_
 #define SHADOOP_MAPREDUCE_JOB_RUNNER_H_
 
+#include <string>
+
 #include "hdfs/file_system.h"
+#include "mapreduce/admission_controller.h"
 #include "mapreduce/cluster.h"
 #include "mapreduce/job.h"
 
@@ -36,14 +39,46 @@ class JobRunner {
   }
   fault::FaultInjector* fault_injector() const { return fault_injector_; }
 
+  /// Binds this runner's session to an admission controller and tenant:
+  /// every subsequent Run() is admitted under the tenant's quotas (jobs
+  /// queue FIFO-per-tenant, task lanes shrink to the tenant's share, and
+  /// speculation respects it — DESIGN.md §10). Neither is owned; a null
+  /// controller (the default) disables admission entirely and keeps the
+  /// runtime byte-identical to the pre-admission behavior.
+  void set_admission(AdmissionController* controller, std::string tenant) {
+    admission_ = controller;
+    tenant_ = std::move(tenant);
+  }
+  AdmissionController* admission_controller() const { return admission_; }
+  const std::string& tenant() const { return tenant_; }
+
+  /// Session-level override of JobConfig::max_task_attempts (the Pigeon
+  /// `SET max_task_attempts` knob); 0 (the default) keeps each job's own
+  /// setting.
+  void set_max_task_attempts_override(int attempts) {
+    max_task_attempts_override_ = attempts;
+  }
+  int max_task_attempts_override() const {
+    return max_task_attempts_override_;
+  }
+
   /// Runs the job to completion. Never throws; failures are reported in
-  /// JobResult::status.
+  /// JobResult::status. With an admission controller bound, blocks until
+  /// the session's tenant has a free job slot first, and fails without
+  /// running when the tenant's quota is zero.
   JobResult Run(const JobConfig& job);
 
  private:
+  /// The admitted run: `lanes` caps task parallelism (real threads and
+  /// the simulated makespan alike) and `gate` brackets every attempt.
+  JobResult RunAdmitted(const JobConfig& job, int lanes, AttemptGate* gate);
+
   hdfs::FileSystem* fs_;
   ClusterConfig cluster_;
   fault::FaultInjector* fault_injector_ = nullptr;
+  AdmissionController* admission_ = nullptr;
+  std::string tenant_ = "default";
+  int max_task_attempts_override_ = 0;
 };
 
 /// Builds one split per block of `path`, with empty metadata — the

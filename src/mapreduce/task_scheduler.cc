@@ -9,6 +9,29 @@
 #include "mapreduce/thread_pool.h"
 
 namespace shadoop::mapreduce {
+namespace {
+
+/// RAII bracket for one attempt's lane: OnAttemptStart on construction,
+/// OnAttemptDone on destruction — so a lane is released on every exit
+/// path (success, failure, injected fault, lost commit race).
+class LaneHold {
+ public:
+  LaneHold(AttemptGate* gate, bool speculative)
+      : gate_(gate), speculative_(speculative) {
+    if (gate_ != nullptr) gate_->OnAttemptStart(speculative_);
+  }
+  ~LaneHold() {
+    if (gate_ != nullptr) gate_->OnAttemptDone(speculative_);
+  }
+  LaneHold(const LaneHold&) = delete;
+  LaneHold& operator=(const LaneHold&) = delete;
+
+ private:
+  AttemptGate* gate_;
+  bool speculative_;
+};
+
+}  // namespace
 
 const char* AttemptStateName(AttemptState state) {
   switch (state) {
@@ -94,10 +117,19 @@ void TaskScheduler::RunTask(size_t task, const AttemptFn& attempt_fn,
                                              task, attempt_id);
     }
 
-    const bool speculate = options_.speculative_execution &&
-                           options_.speculative_slack_ms > 0 &&
-                           delay_ms > options_.speculative_slack_ms &&
-                           next_attempt_id <= options_.max_task_attempts;
+    // The admission gate can veto the backup: a tenant whose lane share
+    // cannot fit a second concurrent attempt runs the straggler alone
+    // (counted by the gate as a preempted speculation). The gate is
+    // consulted only when the scheduler actually wants to speculate, so
+    // the preemption count is as deterministic as the injector's
+    // straggler decisions.
+    const bool wants_speculation = options_.speculative_execution &&
+                                   options_.speculative_slack_ms > 0 &&
+                                   delay_ms > options_.speculative_slack_ms &&
+                                   next_attempt_id <= options_.max_task_attempts;
+    const bool speculate =
+        wants_speculation &&
+        (options_.gate == nullptr || options_.gate->AllowSpeculative(task));
 
     if (!speculate) {
       AttemptRecord rec;
@@ -106,14 +138,17 @@ void TaskScheduler::RunTask(size_t task, const AttemptFn& attempt_fn,
       rec.injected_delay_ms = delay_ms;
       rec.state = AttemptState::kRunning;
       AttemptOutcome outcome;
-      if (injected_failure) {
-        outcome.status = Status::IoError("injected task failure (attempt " +
-                                         std::to_string(attempt_id) + ")");
-        outcome.transient = true;
-      } else {
-        RealDelay(delay_ms, kNeverCancelled);
-        AttemptInfo info{attempt_id, /*speculative=*/false};
-        outcome = attempt_fn(task, info, /*slot=*/0, kNeverCancelled);
+      {
+        LaneHold lane(options_.gate, /*speculative=*/false);
+        if (injected_failure) {
+          outcome.status = Status::IoError("injected task failure (attempt " +
+                                           std::to_string(attempt_id) + ")");
+          outcome.transient = true;
+        } else {
+          RealDelay(delay_ms, kNeverCancelled);
+          AttemptInfo info{attempt_id, /*speculative=*/false};
+          outcome = attempt_fn(task, info, /*slot=*/0, kNeverCancelled);
+        }
       }
       if (outcome.status.ok()) {
         rec.state = AttemptState::kCommitted;
@@ -163,6 +198,7 @@ void TaskScheduler::RunTask(size_t task, const AttemptFn& attempt_fn,
 
     auto run_lane = [&](int slot, const AttemptRecord& rec, bool injected,
                         AttemptOutcome* out) {
+      LaneHold lane(options_.gate, rec.speculative);
       if (injected) {
         out->status = Status::IoError("injected task failure (attempt " +
                                       std::to_string(rec.id) + ")");

@@ -64,6 +64,27 @@ struct AttemptOutcome {
   bool transient = true;
 };
 
+/// Admission hook around task attempts (see AdmissionController). The
+/// scheduler brackets *every* attempt — first launches, retries and
+/// speculative backups alike — with OnAttemptStart/OnAttemptDone, so a
+/// quota holder can account lanes and verify that every acquired lane is
+/// released whatever the attempt's fate. AllowSpeculative is consulted
+/// once per task the scheduler wants to back up; returning false vetoes
+/// the backup (counted by the gate as a preempted speculation). All
+/// three methods are called from worker threads and must be thread-safe.
+class AttemptGate {
+ public:
+  virtual ~AttemptGate() = default;
+
+  virtual void OnAttemptStart(bool speculative) = 0;
+  virtual void OnAttemptDone(bool speculative) = 0;
+  /// Whether a speculative backup may occupy a second lane. Must be
+  /// deterministic for the same gate state: the set of tasks asking is
+  /// injector-decided, and JobCost reproducibility hinges on the same
+  /// tasks getting the same answer on every run.
+  virtual bool AllowSpeculative(size_t task) = 0;
+};
+
 /// Runs one attempt of `task` into private, attempt-scoped state keyed by
 /// `slot` (0 = primary, 1 = speculative backup). The body must not
 /// publish anything outside its slot: publication happens exactly once,
@@ -95,6 +116,9 @@ struct TaskSchedulerOptions {
   /// whichever attempt commits first wins; the loser is killed.
   bool speculative_execution = true;
   double speculative_slack_ms = 5000.0;
+  /// Admission gate bracketing every attempt; not owned, null (the
+  /// default) disables admission accounting entirely.
+  AttemptGate* gate = nullptr;
 };
 
 /// Task-attempt scheduler: drives every task of one phase through the

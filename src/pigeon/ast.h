@@ -69,13 +69,17 @@ struct Expr {
 ///   STORE <name> INTO '<path>' ;
 ///   DUMP <name> ;
 ///   EXPLAIN <name> ;   -- describes the binding (kind, index, size)
+///   SET tenant '<name>' ;         -- session knobs (admission control)
+///   SET tenant_slots <n> ;
+///   SET max_task_attempts <n> ;
 struct Statement {
-  enum class Kind { kAssign, kStore, kDump, kExplain };
+  enum class Kind { kAssign, kStore, kDump, kExplain, kSet };
 
   Kind kind = Kind::kAssign;
   int line = 1;
-  std::string target;  // Assigned name, or the dataset to store/dump.
-  std::string path;    // kStore destination.
+  std::string target;  // Assigned name, dataset to store/dump, or SET key.
+  std::string path;    // kStore destination; kSet string value.
+  double number = 0;   // kSet numeric value.
   Expr expr;           // kAssign only.
 };
 

@@ -66,6 +66,22 @@ Result<ExecutionReport> Executor::Execute(std::string_view script) {
         }
         break;
       }
+      case Statement::Kind::kSet: {
+        if (stmt.target == "TENANT") {
+          tenant_ = stmt.path;
+          EnsureAdmission();
+        } else if (stmt.target == "TENANT_SLOTS") {
+          EnsureAdmission();
+          admission_->SetTenantSlots(tenant_, static_cast<int>(stmt.number));
+        } else if (stmt.target == "MAX_TASK_ATTEMPTS") {
+          runner_->set_max_task_attempts_override(
+              static_cast<int>(stmt.number));
+        } else {
+          return ErrorAt(stmt.line,
+                         "unknown session knob '" + stmt.target + "'");
+        }
+        break;
+      }
       case Statement::Kind::kExplain: {
         SHADOOP_ASSIGN_OR_RETURN(Dataset dataset,
                                  LookUp(stmt.target, stmt.line));
@@ -106,6 +122,18 @@ Result<ExecutionReport> Executor::Execute(std::string_view script) {
                   ", replica_failovers=" +
                   std::to_string(cost.replica_failovers);
         }
+        // Admission-control work, same nonzero-only contract: sessions
+        // that never queued (in particular every session without SET
+        // tenant) keep byte-identical EXPLAIN output.
+        if (cost.admission_queued > 0 || cost.admission_wait_ms > 0 ||
+            cost.admission_preempted_specs > 0) {
+          line += "; admission: queued=" +
+                  std::to_string(cost.admission_queued) + ", wait_ms=" +
+                  std::to_string(static_cast<int64_t>(
+                      cost.admission_wait_ms + 0.5)) +
+                  ", preempted_specs=" +
+                  std::to_string(cost.admission_preempted_specs);
+        }
         report.dump_output.push_back(std::move(line));
         break;
       }
@@ -129,6 +157,21 @@ Result<ExecutionReport> Executor::Execute(std::string_view script) {
     }
   }
   return report;
+}
+
+void Executor::EnsureAdmission() {
+  if (admission_ == nullptr) {
+    mapreduce::AdmissionOptions options;
+    options.total_slots = runner_->cluster().num_slots;
+    owned_admission_ =
+        std::make_unique<mapreduce::AdmissionController>(options);
+    admission_ = owned_admission_.get();
+  }
+  BindAdmission();
+}
+
+void Executor::BindAdmission() {
+  if (admission_ != nullptr) runner_->set_admission(admission_, tenant_);
 }
 
 Result<Dataset> Executor::LookUp(const std::string& name, int line) const {

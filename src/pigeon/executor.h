@@ -2,6 +2,7 @@
 #define SHADOOP_PIGEON_EXECUTOR_H_
 
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -10,6 +11,7 @@
 #include "common/result.h"
 #include "core/op_stats.h"
 #include "index/index_builder.h"
+#include "mapreduce/admission_controller.h"
 #include "mapreduce/job_runner.h"
 #include "pigeon/ast.h"
 
@@ -51,6 +53,22 @@ class Executor {
   /// Access to bound datasets (for tests and tooling).
   const std::map<std::string, Dataset>& environment() const { return env_; }
 
+  /// Multi-tenant admission (DESIGN.md §10). A session starts with no
+  /// controller — jobs run unconstrained, byte-identical to the
+  /// pre-admission runtime. The first `SET tenant`/`SET tenant_slots`
+  /// statement lazily creates a session-owned controller sized to the
+  /// runner's cluster; call set_admission_controller first to share one
+  /// controller across sessions instead (multi-session fairness). The
+  /// executor does not take ownership of a shared controller.
+  void set_admission_controller(mapreduce::AdmissionController* controller) {
+    admission_ = controller;
+    BindAdmission();
+  }
+  mapreduce::AdmissionController* admission_controller() const {
+    return admission_;
+  }
+  const std::string& tenant() const { return tenant_; }
+
  private:
   Result<Dataset> Eval(const Expr& expr, ExecutionReport* report);
   Result<Dataset> LookUp(const std::string& name, int line) const;
@@ -74,9 +92,17 @@ class Executor {
     return hadoop(path);
   }
 
+  /// Ensures an admission controller exists (creating the session-owned
+  /// one if none was shared) and rebinds the runner to it.
+  void EnsureAdmission();
+  void BindAdmission();
+
   mapreduce::JobRunner* runner_;
   std::map<std::string, Dataset> env_;
   int temp_counter_ = 0;
+  std::string tenant_ = "default";
+  std::unique_ptr<mapreduce::AdmissionController> owned_admission_;
+  mapreduce::AdmissionController* admission_ = nullptr;
 };
 
 }  // namespace shadoop::pigeon

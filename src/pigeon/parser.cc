@@ -82,6 +82,33 @@ class Parser {
       SHADOOP_ASSIGN_OR_RETURN(Token path,
                                Expect(TokenType::kString, "a path string"));
       stmt.path = path.text;
+    } else if (upper == "SET") {
+      Next();
+      stmt.kind = Statement::Kind::kSet;
+      SHADOOP_ASSIGN_OR_RETURN(
+          Token knob, Expect(TokenType::kIdentifier, "a session knob"));
+      stmt.target = AsciiToUpper(knob.text);
+      if (stmt.target == "TENANT") {
+        SHADOOP_ASSIGN_OR_RETURN(
+            Token name, Expect(TokenType::kString, "a tenant name string"));
+        if (name.text.empty()) {
+          return ErrorAt(knob, "tenant name must not be empty");
+        }
+        stmt.path = name.text;
+      } else if (stmt.target == "TENANT_SLOTS" ||
+                 stmt.target == "MAX_TASK_ATTEMPTS") {
+        SHADOOP_ASSIGN_OR_RETURN(stmt.number, Number());
+        if (stmt.target == "TENANT_SLOTS" && stmt.number < 0) {
+          return ErrorAt(knob, "tenant_slots must be >= 0");
+        }
+        if (stmt.target == "MAX_TASK_ATTEMPTS" && stmt.number < 1) {
+          return ErrorAt(knob, "max_task_attempts must be >= 1");
+        }
+      } else {
+        return ErrorAt(knob, "unknown session knob '" + knob.text +
+                                 "' (expected tenant, tenant_slots or "
+                                 "max_task_attempts)");
+      }
     } else if (upper == "DUMP" || upper == "EXPLAIN") {
       Next();
       stmt.kind = upper == "DUMP" ? Statement::Kind::kDump
