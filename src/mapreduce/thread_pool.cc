@@ -24,7 +24,7 @@ ThreadPool::ThreadPool(int num_workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stopping_ = true;
   }
   wake_cv_.notify_all();
@@ -38,7 +38,7 @@ void ThreadPool::RunBatch(Batch& batch) {
     (*batch.fn)(i);
     if (batch.completed.fetch_add(1, std::memory_order_acq_rel) + 1 ==
         batch.n) {
-      std::lock_guard<std::mutex> lock(batch.done_mu);
+      MutexLock lock(&batch.done_mu);
       batch.done_cv.notify_all();
     }
   }
@@ -50,11 +50,14 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::shared_ptr<Batch> batch;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      wake_cv_.wait(lock, [&]() {
-        return stopping_ || (current_ != nullptr &&
-                             batch_generation_ != seen_generation);
-      });
+      // An explicit wait loop (not a predicate lambda): the analysis sees
+      // mu_ held across every access to the guarded members, which a
+      // lambda body would hide from it.
+      MutexLock lock(&mu_);
+      while (!stopping_ && (current_ == nullptr ||
+                            batch_generation_ == seen_generation)) {
+        wake_cv_.wait(lock.native());
+      }
       if (stopping_) return;
       seen_generation = batch_generation_;
       batch = current_;
@@ -74,20 +77,25 @@ void ThreadPool::ParallelFor(size_t n, int max_parallelism,
       n, static_cast<size_t>(std::max(
              1, std::min(max_parallelism,
                          num_workers() + 1)))));
-  std::unique_lock<std::mutex> run_lock(run_mu_, std::defer_lock);
-  if (parallelism <= 1 || t_in_pool_worker || !run_lock.try_lock()) {
-    // Serial fallback: single lane requested, nested call from a worker,
-    // or another caller already owns the pool.
+  if (parallelism <= 1 || t_in_pool_worker) {
+    // Serial fallback: single lane requested or nested call from a worker.
     for (size_t i = 0; i < n; ++i) fn(i);
     return;
   }
+  if (!run_mu_.TryLock()) {
+    // Another caller already owns the pool; run serially rather than wait.
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  // run_mu_ is held manually (not RAII) so the try-acquire stays visible
+  // to the thread-safety analysis; released on the single exit below.
 
   auto batch = std::make_shared<Batch>();
   batch->n = n;
   batch->fn = &fn;
   batch->extra_workers.store(parallelism - 1, std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     current_ = batch;
     ++batch_generation_;
   }
@@ -96,15 +104,16 @@ void ThreadPool::ParallelFor(size_t n, int max_parallelism,
   RunBatch(*batch);  // The caller is one of the lanes.
 
   {
-    std::unique_lock<std::mutex> lock(batch->done_mu);
-    batch->done_cv.wait(lock, [&]() {
-      return batch->completed.load(std::memory_order_acquire) == batch->n;
-    });
+    MutexLock lock(&batch->done_mu);
+    while (batch->completed.load(std::memory_order_acquire) != batch->n) {
+      batch->done_cv.wait(lock.native());
+    }
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (current_ == batch) current_ = nullptr;
   }
+  run_mu_.Unlock();
 }
 
 }  // namespace shadoop::mapreduce

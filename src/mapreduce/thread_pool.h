@@ -6,9 +6,10 @@
 #include <cstddef>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace shadoop::mapreduce {
 
@@ -31,7 +32,7 @@ class ThreadPool {
   static ThreadPool& Shared();
 
   explicit ThreadPool(int num_workers);
-  ~ThreadPool();
+  ~ThreadPool() SHADOOP_EXCLUDES(mu_);
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
@@ -41,32 +42,35 @@ class ThreadPool {
   /// pool) degrade to serial execution on the caller — correct, just not
   /// parallel — so nesting cannot deadlock.
   void ParallelFor(size_t n, int max_parallelism,
-                   const std::function<void(size_t)>& fn);
+                   const std::function<void(size_t)>& fn)
+      SHADOOP_EXCLUDES(mu_, run_mu_);
 
   int num_workers() const { return static_cast<int>(workers_.size()); }
 
  private:
   /// One ParallelFor invocation. Workers and the caller claim indices
-  /// from `next`; the last finisher signals `done_cv`.
+  /// from `next`; the last finisher signals `done_cv`. All progress state
+  /// is atomic, so `done_mu` guards nothing — it only orders the final
+  /// notify against the waiter's predicate check.
   struct Batch {
     size_t n = 0;
     const std::function<void(size_t)>* fn = nullptr;
     std::atomic<size_t> next{0};
     std::atomic<size_t> completed{0};
     std::atomic<int> extra_workers{0};  // Worker slots still available.
-    std::mutex done_mu;
+    Mutex done_mu;
     std::condition_variable done_cv;
   };
 
   void WorkerLoop();
   static void RunBatch(Batch& batch);
 
-  std::mutex mu_;
+  Mutex mu_;
   std::condition_variable wake_cv_;
-  std::shared_ptr<Batch> current_;  // Guarded by mu_.
-  uint64_t batch_generation_ = 0;   // Guarded by mu_.
-  bool stopping_ = false;           // Guarded by mu_.
-  std::mutex run_mu_;               // Serializes ParallelFor callers.
+  std::shared_ptr<Batch> current_ SHADOOP_GUARDED_BY(mu_);
+  uint64_t batch_generation_ SHADOOP_GUARDED_BY(mu_) = 0;
+  bool stopping_ SHADOOP_GUARDED_BY(mu_) = false;
+  Mutex run_mu_;  // Serializes ParallelFor callers.
   std::vector<std::thread> workers_;
 };
 
