@@ -101,20 +101,20 @@ std::map<std::string, int> AdmissionController::CurrentLaneSharesLocked()
 
 void AdmissionController::SetTenantSlots(const std::string& tenant,
                                          int slots) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   tenants_[tenant].slots = std::max(0, slots);
   // A raised quota may unblock queued jobs.
   admit_cv_.notify_all();
 }
 
 int AdmissionController::TenantSlots(const std::string& tenant) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = tenants_.find(tenant);
   return it == tenants_.end() ? options_.total_slots : QuotaOf(it->second);
 }
 
 int AdmissionController::LaneShare(const std::string& tenant) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::map<std::string, int> shares = CurrentLaneSharesLocked();
   auto it = shares.find(tenant);
   if (it != shares.end()) return it->second;
@@ -127,7 +127,7 @@ int AdmissionController::LaneShare(const std::string& tenant) const {
 
 Result<std::unique_ptr<AdmissionController::JobTicket>>
 AdmissionController::AdmitJob(const std::string& tenant) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Tenant& t = tenants_[tenant];
   if (QuotaOf(t) == 0) {
     return Status::ResourceExhausted(
@@ -141,9 +141,12 @@ AdmissionController::AdmitJob(const std::string& tenant) {
   // are independent — their backlog never delays this admission.
   const uint64_t seq = t.next_seq++;
   ++t.waiting_jobs;
-  admit_cv_.wait(lock, [&] {
-    return seq == t.admit_seq && t.running_jobs < QuotaOf(t);
-  });
+  // Explicit wait loop so the guarded tenant state is accessed in a scope
+  // the thread-safety analysis can see holds mu_ (a predicate lambda
+  // would hide it).
+  while (!(seq == t.admit_seq && t.running_jobs < QuotaOf(t))) {
+    admit_cv_.wait(lock.native());
+  }
   --t.waiting_jobs;
   ++t.admit_seq;
   ++t.running_jobs;
@@ -183,7 +186,7 @@ AdmissionController::AdmitJob(const std::string& tenant) {
 
 void AdmissionController::ReleaseJob(JobTicket* ticket, double sim_cost_ms) {
   if (ticket == nullptr) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Tenant& t = tenants_[ticket->tenant_];
   if (ticket->sim_lane_ < t.sim_lanes.size()) {
     t.sim_lanes[ticket->sim_lane_] += std::max(0.0, sim_cost_ms);
@@ -194,26 +197,26 @@ void AdmissionController::ReleaseJob(JobTicket* ticket, double sim_cost_ms) {
 }
 
 TenantStats AdmissionController::StatsFor(const std::string& tenant) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = tenants_.find(tenant);
   return it == tenants_.end() ? TenantStats{} : it->second.stats;
 }
 
 int AdmissionController::QueuedJobs(const std::string& tenant) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = tenants_.find(tenant);
   return it == tenants_.end() ? 0 : it->second.waiting_jobs;
 }
 
 int AdmissionController::RunningJobs(const std::string& tenant) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = tenants_.find(tenant);
   return it == tenants_.end() ? 0 : it->second.running_jobs;
 }
 
 void AdmissionController::JobTicket::OnAttemptStart(bool speculative) {
   (void)speculative;
-  std::lock_guard<std::mutex> lock(controller_->mu_);
+  MutexLock lock(&controller_->mu_);
   Tenant& t = controller_->tenants_[tenant_];
   ++t.lanes_in_use;
   ++t.stats.lanes_acquired;
@@ -222,7 +225,7 @@ void AdmissionController::JobTicket::OnAttemptStart(bool speculative) {
 
 void AdmissionController::JobTicket::OnAttemptDone(bool speculative) {
   (void)speculative;
-  std::lock_guard<std::mutex> lock(controller_->mu_);
+  MutexLock lock(&controller_->mu_);
   Tenant& t = controller_->tenants_[tenant_];
   t.lanes_in_use = std::max(0, t.lanes_in_use - 1);
   ++t.stats.lanes_released;

@@ -6,11 +6,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "mapreduce/task_scheduler.h"
 
 namespace shadoop::mapreduce {
@@ -103,31 +103,35 @@ class AdmissionController {
   /// weight in the lane-share split. 0 makes the tenant inadmissible
   /// (every AdmitJob is rejected) until raised again; unconfigured
   /// tenants default to `total_slots` (effectively unconstrained).
-  void SetTenantSlots(const std::string& tenant, int slots);
-  int TenantSlots(const std::string& tenant) const;
+  void SetTenantSlots(const std::string& tenant, int slots)
+      SHADOOP_EXCLUDES(mu_);
+  int TenantSlots(const std::string& tenant) const SHADOOP_EXCLUDES(mu_);
 
   /// The tenant's current deterministic lane share (see
   /// ComputeLaneShares). A tenant unknown to the controller gets the
   /// share it would receive if admitted now.
-  int LaneShare(const std::string& tenant) const;
+  int LaneShare(const std::string& tenant) const SHADOOP_EXCLUDES(mu_);
 
   /// Blocks until the tenant has a free job slot (FIFO within the
   /// tenant), then returns the job's ticket. Fails immediately with
   /// ResourceExhausted when the tenant's quota is zero. The caller must
   /// pass the finished job's simulated cost to ReleaseJob exactly once.
-  Result<std::unique_ptr<JobTicket>> AdmitJob(const std::string& tenant);
+  Result<std::unique_ptr<JobTicket>> AdmitJob(const std::string& tenant)
+      SHADOOP_EXCLUDES(mu_);
 
   /// Releases the job's slot, charges `sim_cost_ms` to the tenant's
   /// simulated lane ledger, and wakes queued jobs.
-  void ReleaseJob(JobTicket* ticket, double sim_cost_ms);
+  void ReleaseJob(JobTicket* ticket, double sim_cost_ms)
+      SHADOOP_EXCLUDES(mu_);
 
-  TenantStats StatsFor(const std::string& tenant) const;
+  TenantStats StatsFor(const std::string& tenant) const
+      SHADOOP_EXCLUDES(mu_);
 
   /// Jobs of `tenant` currently waiting in AdmitJob (for tests and
   /// cross-thread synchronization).
-  int QueuedJobs(const std::string& tenant) const;
+  int QueuedJobs(const std::string& tenant) const SHADOOP_EXCLUDES(mu_);
   /// Jobs of `tenant` currently admitted and not yet released.
-  int RunningJobs(const std::string& tenant) const;
+  int RunningJobs(const std::string& tenant) const SHADOOP_EXCLUDES(mu_);
 
   const AdmissionOptions& options() const { return options_; }
 
@@ -155,12 +159,13 @@ class AdmissionController {
     return tenant.slots < 0 ? options_.total_slots : tenant.slots;
   }
   /// Lane shares over every known nonzero-quota tenant, under mu_.
-  std::map<std::string, int> CurrentLaneSharesLocked() const;
+  std::map<std::string, int> CurrentLaneSharesLocked() const
+      SHADOOP_REQUIRES(mu_);
 
   AdmissionOptions options_;
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   std::condition_variable admit_cv_;
-  std::map<std::string, Tenant> tenants_;
+  std::map<std::string, Tenant> tenants_ SHADOOP_GUARDED_BY(mu_);
 };
 
 }  // namespace shadoop::mapreduce
