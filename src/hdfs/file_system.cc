@@ -81,7 +81,7 @@ FileSystem::FileSystem(HdfsConfig config)
 Result<std::unique_ptr<FileWriter>> FileSystem::Create(
     const std::string& path) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (files_.count(path) > 0) {
       return Status::AlreadyExists("file exists: " + path);
     }
@@ -97,12 +97,12 @@ Status FileSystem::WriteLines(const std::string& path,
 }
 
 bool FileSystem::Exists(const std::string& path) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return files_.count(path) > 0;
 }
 
 Result<FileMeta> FileSystem::GetFileMeta(const std::string& path) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = files_.find(path);
   if (it == files_.end()) return Status::NotFound("no such file: " + path);
   return it->second;
@@ -120,7 +120,7 @@ Result<std::shared_ptr<const std::string>> FileSystem::ReadBlockRaw(
   std::shared_ptr<const std::string> payload;
   size_t payload_bytes = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = files_.find(path);
     if (it == files_.end()) return Status::NotFound("no such file: " + path);
     if (block_index >= it->second.blocks.size()) {
@@ -194,7 +194,7 @@ Result<std::vector<std::string>> FileSystem::ReadLines(
 }
 
 Status FileSystem::Delete(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = files_.find(path);
   if (it == files_.end()) return Status::NotFound("no such file: " + path);
   DropBlocks(it->second);
@@ -203,7 +203,7 @@ Status FileSystem::Delete(const std::string& path) {
 }
 
 Status FileSystem::Rename(const std::string& src, const std::string& dst) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = files_.find(src);
   if (it == files_.end()) return Status::NotFound("no such file: " + src);
   if (files_.count(dst) > 0) {
@@ -218,7 +218,7 @@ Status FileSystem::Rename(const std::string& src, const std::string& dst) {
 
 std::vector<std::string> FileSystem::ListFiles(
     const std::string& prefix) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<std::string> out;
   for (auto it = files_.lower_bound(prefix); it != files_.end(); ++it) {
     if (it->first.compare(0, prefix.size(), prefix) != 0) break;
@@ -228,20 +228,20 @@ std::vector<std::string> FileSystem::ListFiles(
 }
 
 void FileSystem::SetNodeAlive(int node_id, bool alive) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (node_id >= 0 && node_id < static_cast<int>(node_alive_.size())) {
     node_alive_[node_id] = alive;
   }
 }
 
 int FileSystem::CountAliveNodes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return static_cast<int>(
       std::count(node_alive_.begin(), node_alive_.end(), true));
 }
 
 BlockMeta FileSystem::StoreBlock(std::string payload, size_t num_records) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   BlockMeta meta;
   meta.id = next_block_id_++;
   meta.num_bytes = payload.size();
@@ -264,7 +264,7 @@ BlockMeta FileSystem::StoreBlock(std::string payload, size_t num_records) {
 }
 
 Status FileSystem::Register(FileMeta meta) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (files_.count(meta.path) > 0) {
     // Lost a create/create race: drop our blocks, keep the winner.
     DropBlocks(meta);

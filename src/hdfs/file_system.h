@@ -5,12 +5,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "hdfs/hdfs_config.h"
 
 namespace shadoop::fault {
@@ -110,15 +110,17 @@ class FileSystem {
   const HdfsConfig& config() const { return config_; }
 
   /// Creates a file for streaming writes. Fails if the path exists.
-  Result<std::unique_ptr<FileWriter>> Create(const std::string& path);
+  Result<std::unique_ptr<FileWriter>> Create(const std::string& path)
+      SHADOOP_EXCLUDES(mu_);
 
   /// Convenience: writes all `lines` as one file.
   Status WriteLines(const std::string& path,
                     const std::vector<std::string>& lines);
 
-  bool Exists(const std::string& path) const;
+  bool Exists(const std::string& path) const SHADOOP_EXCLUDES(mu_);
 
-  Result<FileMeta> GetFileMeta(const std::string& path) const;
+  Result<FileMeta> GetFileMeta(const std::string& path) const
+      SHADOOP_EXCLUDES(mu_);
 
   /// Reads the records of one block. Fails with IoError when every replica
   /// lives on a dead datanode.
@@ -130,23 +132,26 @@ class FileSystem {
   /// records out of it without copying — see hdfs/block_arena.h. I/O
   /// accounting is identical to ReadBlock.
   Result<std::shared_ptr<const std::string>> ReadBlockRaw(
-      const std::string& path, size_t block_index) const;
+      const std::string& path, size_t block_index) const
+      SHADOOP_EXCLUDES(mu_);
 
   /// Reads a whole file in block order.
   Result<std::vector<std::string>> ReadLines(const std::string& path) const;
 
-  Status Delete(const std::string& path);
+  Status Delete(const std::string& path) SHADOOP_EXCLUDES(mu_);
 
   /// Renames src to dst; fails if dst exists.
-  Status Rename(const std::string& src, const std::string& dst);
+  Status Rename(const std::string& src, const std::string& dst)
+      SHADOOP_EXCLUDES(mu_);
 
   /// All paths with the given prefix, sorted.
-  std::vector<std::string> ListFiles(const std::string& prefix) const;
+  std::vector<std::string> ListFiles(const std::string& prefix) const
+      SHADOOP_EXCLUDES(mu_);
 
   /// Failure injection: marks a datanode dead (its replicas unreadable) or
   /// alive again.
-  void SetNodeAlive(int node_id, bool alive);
-  int CountAliveNodes() const;
+  void SetNodeAlive(int node_id, bool alive) SHADOOP_EXCLUDES(mu_);
+  int CountAliveNodes() const SHADOOP_EXCLUDES(mu_);
 
   /// Installs a deterministic fault source for replica reads (I/O errors,
   /// corrupt bytes caught by block checksums). Not owned; null (the
@@ -168,19 +173,22 @@ class FileSystem {
 
   /// Stores a sealed block on `replication` distinct datanodes
   /// (round-robin placement) and returns its metadata.
-  BlockMeta StoreBlock(std::string payload, size_t num_records);
-  Status Register(FileMeta meta);
-  void DropBlocks(const FileMeta& meta);
+  BlockMeta StoreBlock(std::string payload, size_t num_records)
+      SHADOOP_EXCLUDES(mu_);
+  Status Register(FileMeta meta) SHADOOP_EXCLUDES(mu_);
+  void DropBlocks(const FileMeta& meta) SHADOOP_REQUIRES(mu_);
 
   HdfsConfig config_;
-  mutable std::mutex mu_;
-  std::map<std::string, FileMeta> files_;
+  mutable Mutex mu_;
+  std::map<std::string, FileMeta> files_ SHADOOP_GUARDED_BY(mu_);
   // Datanode storage: node id -> block id -> payload. Payloads are shared
   // so replicas do not multiply memory in the simulation.
-  std::vector<std::map<BlockId, std::shared_ptr<const std::string>>> nodes_;
-  std::vector<bool> node_alive_;
-  BlockId next_block_id_ = 1;
-  int next_placement_node_ = 0;
+  std::vector<std::map<BlockId, std::shared_ptr<const std::string>>> nodes_
+      SHADOOP_GUARDED_BY(mu_);
+  std::vector<bool> node_alive_ SHADOOP_GUARDED_BY(mu_);
+  BlockId next_block_id_ SHADOOP_GUARDED_BY(mu_) = 1;
+  int next_placement_node_ SHADOOP_GUARDED_BY(mu_) = 0;
+  // Lock-free: atomic counters / atomic pointer, safe to touch unguarded.
   mutable IoStats io_stats_;
   std::atomic<fault::FaultInjector*> fault_injector_{nullptr};
 };
