@@ -1,0 +1,259 @@
+// Unit tests for the determinism lint engine (tools/lint, DESIGN.md §11).
+//
+// Contract per rule: it fires on a violating fixture snippet, stays quiet
+// on the clean equivalent, and `// lint:allow(rule)` suppresses exactly
+// the annotated line. The `determinism_lint` ctest target separately
+// proves src/ itself is clean; these tests prove the rules would notice
+// if it were not.
+#include "lint/lint_engine.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace shadoop::lint {
+namespace {
+
+std::vector<Finding> Lint(const std::string& contents,
+                          const std::string& path = "src/core/fixture.cc") {
+  return Linter().LintFile(path, contents);
+}
+
+std::vector<std::string> RuleIds(const std::vector<Finding>& findings) {
+  std::vector<std::string> ids;
+  for (const Finding& finding : findings) ids.push_back(finding.rule);
+  return ids;
+}
+
+bool HasRule(const std::vector<Finding>& findings, const std::string& rule) {
+  const std::vector<std::string> ids = RuleIds(findings);
+  return std::find(ids.begin(), ids.end(), rule) != ids.end();
+}
+
+// ---------------------------------------------------------------------------
+// Registry & formatting
+
+TEST(LintRegistry, ExposesEveryRule) {
+  Linter linter;
+  std::vector<std::string> ids;
+  for (const RuleInfo& rule : linter.rules()) {
+    EXPECT_FALSE(rule.id.empty());
+    EXPECT_FALSE(rule.summary.empty());
+    ids.push_back(rule.id);
+  }
+  for (const char* expected :
+       {"banned-clock", "banned-random", "unordered-iteration", "naked-mutex",
+        "iostream-include"}) {
+    EXPECT_NE(std::find(ids.begin(), ids.end(), expected), ids.end())
+        << "missing rule " << expected;
+  }
+}
+
+TEST(LintFormat, FileLineRuleMessage) {
+  Finding finding{"src/core/knn.cc", 42, "banned-clock", "no clocks"};
+  EXPECT_EQ(FormatFinding(finding),
+            "src/core/knn.cc:42: banned-clock: no clocks");
+}
+
+TEST(LintFormat, FindingsCarryOneBasedLines) {
+  std::vector<Finding> findings = Lint("#include <iostream>\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 1);
+  EXPECT_EQ(findings[0].file, "src/core/fixture.cc");
+}
+
+// ---------------------------------------------------------------------------
+// banned-clock
+
+TEST(BannedClock, FiresOnSystemClock) {
+  EXPECT_TRUE(HasRule(
+      Lint("auto t = std::chrono::system_clock::now();\n"), "banned-clock"));
+}
+
+TEST(BannedClock, FiresOnSteadyClockAndCTime) {
+  EXPECT_TRUE(HasRule(
+      Lint("using Clock = std::chrono::steady_clock;\n"), "banned-clock"));
+  EXPECT_TRUE(HasRule(Lint("time_t now = time(nullptr);\n"), "banned-clock"));
+  EXPECT_TRUE(HasRule(Lint("long t = ::time(nullptr);\n"), "banned-clock"));
+}
+
+TEST(BannedClock, QuietOnDurationsAndLookalikes) {
+  // Durations and sleeps are deterministic-friendly; only clock *reads*
+  // are banned. Identifiers merely containing "time" must not trip it.
+  EXPECT_TRUE(Lint("std::this_thread::sleep_for(std::chrono::microseconds(2));\n"
+                   "double startup_time(3.0);\n"
+                   "double runtime(2.0);\n"
+                   "sw.time();\n")
+                  .empty());
+}
+
+TEST(BannedClock, QuietInComments) {
+  EXPECT_TRUE(Lint("// wall time via std::chrono::system_clock is banned\n"
+                   "/* time(nullptr) too */\n")
+                  .empty());
+}
+
+TEST(BannedClock, ExemptInStopwatchHeader) {
+  const std::string snippet = "using Clock = std::chrono::steady_clock;\n";
+  EXPECT_TRUE(Lint(snippet, "src/common/stopwatch.h").empty());
+  EXPECT_FALSE(Lint(snippet, "src/core/knn.cc").empty());
+}
+
+// ---------------------------------------------------------------------------
+// banned-random
+
+TEST(BannedRandom, FiresOnRandAndDeviceAndEngines) {
+  EXPECT_TRUE(HasRule(Lint("int x = rand();\n"), "banned-random"));
+  EXPECT_TRUE(HasRule(Lint("std::random_device rd;\n"), "banned-random"));
+  EXPECT_TRUE(HasRule(Lint("std::mt19937_64 gen(rd());\n"), "banned-random"));
+}
+
+TEST(BannedRandom, QuietOnSeededShadoopRandom) {
+  EXPECT_TRUE(Lint("shadoop::Random rng(seed);\n"
+                   "double d = rng.NextDouble();\n"
+                   "int operand = 1; (void)operand;\n")
+                  .empty());
+}
+
+TEST(BannedRandom, ExemptInCommonRandom) {
+  const std::string snippet = "std::mt19937 gen;\n";
+  EXPECT_TRUE(Lint(snippet, "src/common/random.cc").empty());
+  EXPECT_TRUE(Lint(snippet, "src/common/random.h").empty());
+  EXPECT_FALSE(Lint(snippet, "src/index/rtree.cc").empty());
+}
+
+// ---------------------------------------------------------------------------
+// unordered-iteration
+
+TEST(UnorderedIteration, FiresOnRangeForOverUnorderedMap) {
+  std::vector<Finding> findings =
+      Lint("std::unordered_map<std::string, int> counts;\n"
+           "for (const auto& [key, n] : counts) Emit(key, n);\n");
+  ASSERT_TRUE(HasRule(findings, "unordered-iteration"));
+  EXPECT_EQ(findings[0].line, 2);
+}
+
+TEST(UnorderedIteration, FiresOnBeginOverUnorderedSet) {
+  EXPECT_TRUE(HasRule(Lint("std::unordered_set<int> seen;\n"
+                           "auto it = seen.begin();\n"),
+                      "unordered-iteration"));
+}
+
+TEST(UnorderedIteration, TracksDeclarationsAcrossLines) {
+  EXPECT_TRUE(HasRule(Lint("std::unordered_map<std::string,\n"
+                           "                   std::vector<int>> index;\n"
+                           "for (auto& entry : index) Use(entry);\n"),
+                      "unordered-iteration"));
+}
+
+TEST(UnorderedIteration, QuietOnLookupAndOrderedContainers) {
+  // Point lookups on hash containers are order-independent and legal;
+  // only iteration leaks hash order. std::map iteration is fine.
+  EXPECT_TRUE(Lint("std::unordered_map<std::string, int> counts;\n"
+                   "counts[key] += 1;\n"
+                   "auto it = counts.find(key);\n")
+                  .empty());
+  EXPECT_TRUE(Lint("std::map<std::string, int> sorted;\n"
+                   "for (const auto& [k, v] : sorted) Emit(k, v);\n")
+                  .empty());
+}
+
+TEST(UnorderedIteration, SortedSnapshotUsesAllowEscape) {
+  // The blessed pattern: copy into an ordered container, annotate the
+  // copy line. Exactly that line is suppressed.
+  std::vector<Finding> findings =
+      Lint("std::unordered_map<std::string, int> counts;\n"
+           "std::map<std::string, int> sorted(\n"
+           "    counts.begin(), counts.end());  // lint:allow(unordered-iteration)\n"
+           "for (const auto& [k, v] : sorted) Emit(k, v);\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+// ---------------------------------------------------------------------------
+// naked-mutex
+
+TEST(NakedMutex, FiresOnMemberAndInclude) {
+  EXPECT_TRUE(HasRule(Lint("#include <mutex>\n"), "naked-mutex"));
+  EXPECT_TRUE(HasRule(Lint("mutable std::mutex mu_;\n"), "naked-mutex"));
+  EXPECT_TRUE(HasRule(Lint("std::shared_mutex rw_;\n"), "naked-mutex"));
+}
+
+TEST(NakedMutex, QuietOnAnnotatedWrapper) {
+  EXPECT_TRUE(Lint("#include \"common/thread_annotations.h\"\n"
+                   "mutable Mutex mu_;\n"
+                   "MutexLock lock(&mu_);\n"
+                   "std::condition_variable cv_;\n")
+                  .empty());
+}
+
+// ---------------------------------------------------------------------------
+// iostream-include
+
+TEST(IostreamInclude, FiresOnInclude) {
+  std::vector<Finding> findings = Lint("#include <iostream>\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "iostream-include");
+}
+
+TEST(IostreamInclude, QuietOnOtherStreams) {
+  EXPECT_TRUE(Lint("#include <sstream>\n#include <fstream>\n").empty());
+}
+
+// ---------------------------------------------------------------------------
+// lint:allow semantics
+
+TEST(LintAllow, SuppressesExactlyOneLine) {
+  std::vector<Finding> findings =
+      Lint("int a = rand();  // lint:allow(banned-random)\n"
+           "int b = rand();\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "banned-random");
+  EXPECT_EQ(findings[0].line, 2);
+}
+
+TEST(LintAllow, OnlySuppressesTheNamedRule) {
+  // The allow names banned-clock, but the line violates banned-random:
+  // the finding survives.
+  std::vector<Finding> findings =
+      Lint("int a = rand();  // lint:allow(banned-clock)\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "banned-random");
+}
+
+TEST(LintAllow, SupportsRuleLists) {
+  EXPECT_TRUE(
+      Lint("std::mutex mu; srand(1);  "
+           "// lint:allow(naked-mutex, banned-random)\n")
+          .empty());
+}
+
+// ---------------------------------------------------------------------------
+// Engine mechanics
+
+TEST(LintEngine, OneFindingPerLineAndRule) {
+  // Two banned tokens on one line are one problem to fix.
+  std::vector<Finding> findings =
+      Lint("auto t = time(nullptr) + clock();\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "banned-clock");
+}
+
+TEST(LintEngine, FindingsSortedByLine) {
+  std::vector<Finding> findings = Lint("int b = rand();\n"
+                                       "#include <iostream>\n"
+                                       "std::mutex mu;\n");
+  ASSERT_EQ(findings.size(), 3u);
+  EXPECT_LT(findings[0].line, findings[1].line);
+  EXPECT_LT(findings[1].line, findings[2].line);
+}
+
+TEST(LintEngine, StringLiteralsDoNotFire) {
+  EXPECT_TRUE(
+      Lint("const char* doc = \"never call rand() or time(nullptr)\";\n")
+          .empty());
+}
+
+}  // namespace
+}  // namespace shadoop::lint
