@@ -1,5 +1,9 @@
 #!/usr/bin/env bash
-# Full verification pass, two sanitizer trees:
+# Full verification pass — lint first (fastest feedback), then two
+# sanitizer trees:
+#   0. Static analysis via scripts/lint.sh: the repo-specific
+#      determinism lint, plus clang-tidy and the Clang thread-safety
+#      build when those tools are installed (DESIGN.md §11).
 #   1. AddressSanitizer + UndefinedBehaviorSanitizer over the whole test
 #      suite (memory and UB coverage).
 #   2. ThreadSanitizer over the concurrency-heavy suites — the MapReduce
@@ -9,7 +13,7 @@
 # Use this before sending a change for review; the plain `build/` tree
 # stays untouched for fast iteration.
 #
-# Usage: scripts/check.sh [--tsan-only] [asan-build-dir] [tsan-build-dir]
+# Usage: scripts/check.sh [--lint-only|--tsan-only] [asan-dir] [tsan-dir]
 #        (defaults: build-asan build-tsan)
 #
 # Environment:
@@ -18,6 +22,8 @@
 #
 # Exit codes (CI maps these to named annotations):
 #   0   clean
+#   30  lint phase failed (scripts/lint.sh: determinism lint findings,
+#       clang-tidy errors, or -Werror=thread-safety errors)
 #   10  ASan/UBSan phase failed (build or tests)
 #   20  TSan phase failed (build or tests)
 #   2   usage error
@@ -26,13 +32,17 @@ set -uo pipefail
 cd "$(dirname "$0")/.."
 
 TSAN_ONLY=0
+LINT_ONLY=0
 if [[ "${1:-}" == "--tsan-only" ]]; then
   TSAN_ONLY=1
+  shift
+elif [[ "${1:-}" == "--lint-only" ]]; then
+  LINT_ONLY=1
   shift
 fi
 if [[ "${1:-}" == --* ]]; then
   echo "check.sh: unknown flag '$1'" >&2
-  echo "usage: scripts/check.sh [--tsan-only] [asan-dir] [tsan-dir]" >&2
+  echo "usage: scripts/check.sh [--lint-only|--tsan-only] [asan-dir] [tsan-dir]" >&2
   exit 2
 fi
 
@@ -77,6 +87,19 @@ tsan_phase() {
   TSAN_OPTIONS="halt_on_error=1" ctest --test-dir "${TSAN_DIR}" \
     --output-on-failure -R "${regex}"
 }
+
+# Lint runs first: it is seconds where the sanitizer trees are minutes,
+# so a banned pattern or lock-discipline break fails fast.
+if [[ "${TSAN_ONLY}" -eq 0 ]]; then
+  if ! scripts/lint.sh; then
+    echo "check.sh: lint phase FAILED" >&2
+    exit 30
+  fi
+fi
+if [[ "${LINT_ONLY}" -eq 1 ]]; then
+  echo "check.sh: lint phase passed (--lint-only)"
+  exit 0
+fi
 
 if [[ "${TSAN_ONLY}" -eq 0 ]]; then
   if ! asan_phase; then
