@@ -7,14 +7,17 @@
 // measures *real* wall time, because the zero-copy work changes host
 // performance, not the simulated cost model; the fault scenario
 // additionally reports the sim-time overhead of retries, backoff and
-// speculative re-execution.
+// speculative re-execution. The incremental-ingest scenario times
+// catalog appends (routing + copy-on-write rewrites + skew splits)
+// against a full bulk rebuild of the same records, and fails if the
+// appended version's query rows diverge from the rebuilt index.
 //
 // Usage:
 //   bench_hotpath --label <name> [--out results.json] [--reps N]
 //   bench_hotpath --merge baseline.json current.json
 //
 // The merge mode pairs benchmarks by name, computes speedups, prints the
-// combined report (scripts/bench.sh redirects it to BENCH_pr3.json), and
+// combined report (scripts/bench.sh redirects it to BENCH_pr6.json), and
 // exits non-zero if an invariant failed: geometry parses exceeding the
 // record-visit bound, or fault-injected output diverging from the clean
 // run. Benchmarks with no baseline row (the fault scenario, against
@@ -46,6 +49,11 @@
 #define SHADOOP_HAS_FAULT_INJECTION 1
 #endif
 
+#if __has_include("catalog/dataset_catalog.h")
+#include "catalog/dataset_catalog.h"
+#define SHADOOP_HAS_CATALOG 1
+#endif
+
 namespace shadoop {
 namespace {
 
@@ -58,6 +66,9 @@ constexpr size_t kJoinPolygonsB = 10000;
 // refinement step visits every record many times — the regime the
 // parse-once columns are built for.
 constexpr double kJoinRadiusFraction = 0.03;
+constexpr size_t kIngestBasePoints = 60000;
+constexpr size_t kIngestBatchPoints = 20000;
+constexpr int kIngestBatches = 3;
 
 struct BenchResult {
   std::string name;
@@ -310,6 +321,104 @@ BenchResult BenchFaultRecovery(int reps) {
 }
 #endif  // SHADOOP_HAS_FAULT_INJECTION
 
+#ifdef SHADOOP_HAS_CATALOG
+// Incremental ingest through the versioned catalog: bulk-build a base
+// STR index, then append three 20k-point batches (skewed, gaussian,
+// uniform — each triggers routing, copy-on-write delta rewrites and,
+// for the clustered batch, skew splits). wall_ms times the appends
+// only. overhead_ms is the wall time of the three appends minus a full
+// bulk rebuild of the union (both best-of-reps) — negative means
+// incremental maintenance beat rebuilding from scratch. The final
+// version must return exactly the rows the bulk rebuild returns.
+BenchResult BenchIncrementalIngest(int reps) {
+  BenchResult result;
+  result.name = "incremental_ingest";
+  const int64_t total_records = static_cast<int64_t>(
+      kIngestBasePoints + kIngestBatches * kIngestBatchPoints);
+
+  result.wall_ms = std::numeric_limits<double>::infinity();
+  double rebuild_wall_ms = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < reps; ++rep) {
+    // Fresh cluster per repetition: appends advance the dataset's
+    // version, so reusing one catalog would time ever-larger datasets.
+    Cluster cluster;
+    workload::PointGenOptions base;
+    base.count = kIngestBasePoints;
+    base.seed = 41;
+    base.distribution = workload::Distribution::kUniform;
+    SHADOOP_CHECK_OK(workload::WritePointFile(&cluster.fs, "/base", base));
+    const workload::Distribution batch_dist[kIngestBatches] = {
+        workload::Distribution::kClustered,
+        workload::Distribution::kGaussian,
+        workload::Distribution::kUniform};
+    std::vector<std::string> batches;
+    for (int i = 0; i < kIngestBatches; ++i) {
+      workload::PointGenOptions gen;
+      gen.count = kIngestBatchPoints;
+      gen.seed = 43 + static_cast<uint64_t>(i);
+      gen.distribution = batch_dist[i];
+      batches.push_back("/batch" + std::to_string(i));
+      SHADOOP_CHECK_OK(
+          workload::WritePointFile(&cluster.fs, batches.back(), gen));
+    }
+
+    catalog::DatasetCatalog catalog(&cluster.runner);
+    index::IndexBuildOptions options;
+    options.scheme = index::PartitionScheme::kStr;
+    options.shape = index::ShapeType::kPoint;
+    SHADOOP_CHECK_OK(
+        catalog.Create("pts", "/base", "/pts.idx", options).status());
+
+    core::OpStats ingest_stats;
+    const auto start = std::chrono::steady_clock::now();
+    for (const std::string& batch : batches) {
+      SHADOOP_CHECK_OK(catalog.Append("pts", batch, &ingest_stats).status());
+    }
+    result.wall_ms = std::min(result.wall_ms, MsSince(start));
+
+    // Full-rebuild yardstick: bulk-index the union of every record.
+    std::vector<std::string> all = cluster.fs.ReadLines("/base").ValueOrDie();
+    for (const std::string& batch : batches) {
+      std::vector<std::string> lines =
+          cluster.fs.ReadLines(batch).ValueOrDie();
+      all.insert(all.end(), lines.begin(), lines.end());
+    }
+    SHADOOP_CHECK_OK(cluster.fs.WriteLines("/all", all));
+    index::IndexBuilder builder(&cluster.runner);
+    const auto rebuild_start = std::chrono::steady_clock::now();
+    const index::SpatialFileInfo rebuilt =
+        builder.Build("/all", "/all.idx", options).ValueOrDie();
+    rebuild_wall_ms = std::min(rebuild_wall_ms, MsSince(rebuild_start));
+
+    const index::SpatialFileInfo latest =
+        catalog.Snapshot("pts").ValueOrDie();
+    const Envelope everything(0, 0, 1e6, 1e6);
+    const int64_t inc_rows = static_cast<int64_t>(
+        core::RangeQuerySpatial(&cluster.runner, latest, everything)
+            .ValueOrDie()
+            .size());
+    const int64_t bulk_rows = static_cast<int64_t>(
+        core::RangeQuerySpatial(&cluster.runner, rebuilt, everything)
+            .ValueOrDie()
+            .size());
+    if (inc_rows != total_records || inc_rows != bulk_rows) {
+      std::cerr << "FAIL: incremental version returned " << inc_rows
+                << " rows, bulk rebuild " << bulk_rows << ", expected "
+                << total_records << "\n";
+      std::exit(1);
+    }
+    // Partition count folds the split decisions into the checksum, so a
+    // nondeterministic repartition shows up as a checksum diff.
+    result.checksum =
+        static_cast<int64_t>(latest.global_index.NumPartitions()) * 1000000 +
+        inc_rows;
+  }
+  result.overhead_ms = result.wall_ms - rebuild_wall_ms;
+  result.records = total_records;
+  return result;
+}
+#endif  // SHADOOP_HAS_CATALOG
+
 // ---------------------------------------------------------------------
 // Ad-hoc JSON (one benchmark object per line, so the merge mode can
 // read it back with plain string scanning — no JSON library needed).
@@ -445,6 +554,9 @@ int RunAll(const std::string& label, const std::string& out_path, int reps) {
                                                &BenchSpatialJoin};
 #ifdef SHADOOP_HAS_FAULT_INJECTION
   benches.push_back(&BenchFaultRecovery);
+#endif
+#ifdef SHADOOP_HAS_CATALOG
+  benches.push_back(&BenchIncrementalIngest);
 #endif
   for (auto* bench : benches) {
     const BenchResult r = bench(reps);

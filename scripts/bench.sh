@@ -3,11 +3,12 @@
 # revision. Builds bench_hotpath in Release mode twice — once in this
 # tree, once in a detached worktree of the baseline ref (default:
 # HEAD~1) with the same harness source copied in — runs both with
-# identical fixed seeds, and merges the two reports into BENCH_pr3.json.
+# identical fixed seeds, and merges the two reports into BENCH_pr6.json.
 # Besides the zero-copy benchmarks, the current tree also runs the
-# fault-recovery scenario (5% task failures + stragglers) and records
-# the simulated recovery overhead; baselines that predate the fault
-# subsystem simply skip it (the merge emits the row with baseline -1).
+# fault-recovery scenario (5% task failures + stragglers) and the
+# incremental-ingest scenario (catalog appends vs a full rebuild);
+# baselines that predate the fault or catalog subsystems simply skip
+# them (the merge emits those rows with baseline -1).
 #
 # Fails if the parse-once invariant is violated (geometry parses exceed
 # the record-visit bound of any benchmark in the current tree) or if the
@@ -20,7 +21,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 BASELINE_REF="${1:-HEAD~1}"
 REPS="${REPS:-3}"
-OUT="${OUT:-BENCH_pr3.json}"
+OUT="${OUT:-BENCH_pr6.json}"
 BASELINE_DIR=".bench-baseline"
 
 echo "== building current tree (Release) =="

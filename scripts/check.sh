@@ -60,8 +60,9 @@ TSAN_FLAGS="-fsanitize=thread -fno-omit-frame-pointer"
 #   - robustness_test: fault-matrix sweep over whole operations
 #   - admission_test: cross-thread FIFO admission, quota blocking, lane
 #     accounting under concurrent tenants
+#   - catalog_test: snapshot reads racing concurrent catalog appends
 TSAN_SUITES=(mapreduce_test zero_copy_test fault_test robustness_test
-             admission_test)
+             admission_test catalog_test)
 
 asan_phase() {
   cmake -B "${BUILD_DIR}" -S . \

@@ -1,0 +1,145 @@
+#ifndef SHADOOP_CATALOG_DATASET_CATALOG_H_
+#define SHADOOP_CATALOG_DATASET_CATALOG_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/thread_annotations.h"
+#include "core/op_stats.h"
+#include "index/index_builder.h"
+#include "mapreduce/job_runner.h"
+
+namespace shadoop::catalog {
+
+/// Knobs of incremental index maintenance.
+struct IngestOptions {
+  /// Repartitioning trigger: when max/mean partition records exceeds this
+  /// after an append, the degraded partitions (those above threshold *
+  /// mean) are split. Partitioning quality degrades measurably under skew
+  /// (Aji et al.), so appends must repartition, not just accumulate.
+  double skew_threshold = 3.0;
+
+  /// Bound on successive split passes per append, for determinism and
+  /// bounded ingest latency.
+  int max_split_rounds = 4;
+};
+
+/// Per-version partition statistics (the skew metric EXPLAIN surfaces).
+struct VersionStats {
+  uint64_t version = 0;
+  size_t num_partitions = 0;
+  uint64_t num_records = 0;
+  uint64_t max_partition_records = 0;
+  double mean_partition_records = 0;
+  double skew = 0;  // max/mean partition records; 0 for an empty dataset.
+};
+
+/// Versioned dataset lifecycle over spatially indexed files.
+///
+/// Each registered dataset carries a monotonically increasing version.
+/// Version 1 is a bulk build (IndexBuilder); every Append() creates a new
+/// *immutable* version by copy-on-write at the partition level: only the
+/// partitions the batch touches are rewritten (into the dataset's
+/// append-only "@delta" file), untouched partitions are shared with the
+/// previous version by (source_path, block_index) reference. Blocks are
+/// never mutated, so a SpatialFileInfo obtained from Snapshot() keeps
+/// returning byte-identical query results while later appends land — the
+/// snapshot-pinning contract every query relies on.
+///
+/// Appended records are routed against the frozen partition boundaries of
+/// the previous version (cells stretch outward deterministically when a
+/// batch grows the space, so disjoint tilings keep covering the file and
+/// the reference-point dedup of range queries stays exact). When the skew
+/// metric (max/mean partition records) crosses IngestOptions::
+/// skew_threshold, only the degraded partitions are split — incremental
+/// repartitioning instead of a rebuild.
+///
+/// Durability: per-version master files ("<data>@v<N>_master"; version 1
+/// keeps the plain "<data>_master") plus a "<data>@current" pointer file
+/// swapped via FileSystem::Replace, so Open() can reattach a dataset in a
+/// later session.
+///
+/// Thread-safe; Append() serializes per catalog, Snapshot() returns a
+/// self-contained copy usable without any lock.
+class DatasetCatalog {
+ public:
+  explicit DatasetCatalog(mapreduce::JobRunner* runner,
+                          IngestOptions options = IngestOptions())
+      : runner_(runner), options_(options) {}
+
+  DatasetCatalog(const DatasetCatalog&) = delete;
+  DatasetCatalog& operator=(const DatasetCatalog&) = delete;
+
+  /// Registers an already-built spatial file as version 1 of `name`.
+  /// Rebinding an existing name replaces its lineage (the old versions'
+  /// files are left untouched).
+  Status Register(const std::string& name, index::SpatialFileInfo info)
+      SHADOOP_EXCLUDES(mu_);
+
+  /// Bulk-builds `source_path` into `dest_path` (IndexBuilder) and
+  /// registers the result as version 1 of `name`.
+  Result<index::SpatialFileInfo> Create(const std::string& name,
+                                        const std::string& source_path,
+                                        const std::string& dest_path,
+                                        const index::IndexBuildOptions& options,
+                                        core::OpStats* stats = nullptr)
+      SHADOOP_EXCLUDES(mu_);
+
+  /// Reattaches a dataset persisted by an earlier catalog: reads the
+  /// "@current" pointer (when present) and every version master up to it.
+  Status Open(const std::string& name, const std::string& data_path)
+      SHADOOP_EXCLUDES(mu_);
+
+  /// Appends the records of `batch_path` as a new immutable version and
+  /// returns its number. Emits nonzero-only `ingest.*` counters (and the
+  /// scan job's cost) into `stats` when given.
+  Result<uint64_t> Append(const std::string& name,
+                          const std::string& batch_path,
+                          core::OpStats* stats = nullptr)
+      SHADOOP_EXCLUDES(mu_);
+
+  /// Immutable handle to a version (0 = latest). The returned info is a
+  /// copy; queries planned against it never observe later appends.
+  Result<index::SpatialFileInfo> Snapshot(const std::string& name,
+                                          uint64_t version = 0) const
+      SHADOOP_EXCLUDES(mu_);
+
+  Result<uint64_t> LatestVersion(const std::string& name) const
+      SHADOOP_EXCLUDES(mu_);
+
+  Result<VersionStats> Stats(const std::string& name,
+                             uint64_t version = 0) const
+      SHADOOP_EXCLUDES(mu_);
+
+  bool Contains(const std::string& name) const SHADOOP_EXCLUDES(mu_);
+
+  /// File-layout conventions (exposed for tests and tooling).
+  static std::string DeltaPathFor(const std::string& data_path);
+  static std::string CurrentPathFor(const std::string& data_path);
+  static std::string VersionMasterPathFor(const std::string& data_path,
+                                          uint64_t version);
+
+ private:
+  struct State {
+    std::string data_path;
+    std::vector<index::SpatialFileInfo> versions;  // [0] is version 1.
+  };
+
+  Result<const State*> Find(const std::string& name) const
+      SHADOOP_REQUIRES(mu_);
+
+  mapreduce::JobRunner* runner_;
+  IngestOptions options_;
+  mutable Mutex mu_;
+  std::map<std::string, State> datasets_ SHADOOP_GUARDED_BY(mu_);
+};
+
+/// The skew statistics of one version handle.
+VersionStats ComputeVersionStats(const index::SpatialFileInfo& info,
+                                 uint64_t version);
+
+}  // namespace shadoop::catalog
+
+#endif  // SHADOOP_CATALOG_DATASET_CATALOG_H_

@@ -26,12 +26,14 @@ InputSplit MakeJoinSplit(const index::SpatialFileInfo& file_a,
                          const index::SpatialFileInfo& file_b,
                          const std::vector<int>& pb_ids) {
   InputSplit split;
-  split.blocks.push_back({file_a.data_path, pa.block_index});
+  split.blocks.push_back(
+      {index::PartitionSourcePath(pa, file_a.data_path), pa.block_index});
   split.estimated_bytes = pa.num_bytes;
   split.estimated_records = pa.num_records;
   for (int id : pb_ids) {
     const index::Partition& pb = file_b.global_index.partitions()[id];
-    split.blocks.push_back({file_b.data_path, pb.block_index});
+    split.blocks.push_back(
+        {index::PartitionSourcePath(pb, file_b.data_path), pb.block_index});
     split.estimated_bytes += pb.num_bytes;
     split.estimated_records += pb.num_records;
   }

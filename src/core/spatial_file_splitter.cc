@@ -47,7 +47,8 @@ Result<std::vector<mapreduce::InputSplit>> SpatialSplits(
     }
     const index::Partition& p = gi.partitions()[id];
     mapreduce::InputSplit split;
-    split.blocks.push_back({info.data_path, p.block_index});
+    split.blocks.push_back(
+        {index::PartitionSourcePath(p, info.data_path), p.block_index});
     split.meta = EncodeSplitExtent({p.cell, p.mbr, file_mbr});
     split.estimated_bytes = p.num_bytes;
     split.estimated_records = p.num_records;
@@ -71,8 +72,10 @@ Result<std::vector<mapreduce::InputSplit>> PairSplits(
     const index::Partition& pa = a.global_index.partitions()[ia];
     const index::Partition& pb = b.global_index.partitions()[ib];
     mapreduce::InputSplit split;
-    split.blocks.push_back({a.data_path, pa.block_index});
-    split.blocks.push_back({b.data_path, pb.block_index});
+    split.blocks.push_back(
+        {index::PartitionSourcePath(pa, a.data_path), pa.block_index});
+    split.blocks.push_back(
+        {index::PartitionSourcePath(pb, b.data_path), pb.block_index});
     split.meta = EncodeSplitExtent({pa.cell, pa.mbr, mbr_a}) + "|" +
                  EncodeSplitExtent({pb.cell, pb.mbr, mbr_b});
     split.estimated_bytes = pa.num_bytes + pb.num_bytes;

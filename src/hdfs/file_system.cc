@@ -63,7 +63,8 @@ Status FileWriter::Close() {
   if (closed_) return Status::OK();
   SealCurrentBlock();
   closed_ = true;
-  return fs_->Register(std::move(meta_));
+  return appending_ ? fs_->Update(std::move(meta_))
+                    : fs_->Register(std::move(meta_));
 }
 
 // ---------------------------------------------------------------------------
@@ -87,6 +88,21 @@ Result<std::unique_ptr<FileWriter>> FileSystem::Create(
     }
   }
   return std::unique_ptr<FileWriter>(new FileWriter(this, path));
+}
+
+Result<std::unique_ptr<FileWriter>> FileSystem::Append(
+    const std::string& path) {
+  auto writer = std::unique_ptr<FileWriter>(new FileWriter(this, path));
+  {
+    MutexLock lock(&mu_);
+    auto it = files_.find(path);
+    if (it == files_.end()) return Status::NotFound("no such file: " + path);
+    // The writer starts from the current meta; existing blocks (shared
+    // payloads) stay where they are and keep their indexes.
+    writer->meta_ = it->second;
+  }
+  writer->appending_ = true;
+  return writer;
 }
 
 Status FileSystem::WriteLines(const std::string& path,
@@ -216,6 +232,22 @@ Status FileSystem::Rename(const std::string& src, const std::string& dst) {
   return Status::OK();
 }
 
+Status FileSystem::Replace(const std::string& src, const std::string& dst) {
+  MutexLock lock(&mu_);
+  auto it = files_.find(src);
+  if (it == files_.end()) return Status::NotFound("no such file: " + src);
+  auto dst_it = files_.find(dst);
+  if (dst_it != files_.end()) {
+    DropBlocks(dst_it->second);
+    files_.erase(dst_it);
+  }
+  FileMeta meta = std::move(it->second);
+  files_.erase(it);
+  meta.path = dst;
+  files_.emplace(dst, std::move(meta));
+  return Status::OK();
+}
+
 std::vector<std::string> FileSystem::ListFiles(
     const std::string& prefix) const {
   MutexLock lock(&mu_);
@@ -272,6 +304,20 @@ Status FileSystem::Register(FileMeta meta) {
   }
   std::string path = meta.path;
   files_.emplace(std::move(path), std::move(meta));
+  return Status::OK();
+}
+
+Status FileSystem::Update(FileMeta meta) {
+  MutexLock lock(&mu_);
+  auto it = files_.find(meta.path);
+  if (it == files_.end()) {
+    // The file vanished mid-append; publish anyway (the meta owns every
+    // block it references, old and new alike).
+    std::string path = meta.path;
+    files_.emplace(std::move(path), std::move(meta));
+    return Status::OK();
+  }
+  it->second = std::move(meta);
   return Status::OK();
 }
 

@@ -95,6 +95,7 @@ class FileWriter {
   size_t current_records_ = 0;
   bool closed_ = false;
   bool auto_seal_ = true;
+  bool appending_ = false;  // Opened by FileSystem::Append.
 };
 
 /// In-process simulation of HDFS: a namenode (file → blocks → replica
@@ -111,6 +112,21 @@ class FileSystem {
 
   /// Creates a file for streaming writes. Fails if the path exists.
   Result<std::unique_ptr<FileWriter>> Create(const std::string& path)
+      SHADOOP_EXCLUDES(mu_);
+
+  /// Reopens an existing file for appending. New records go into *new*
+  /// blocks after the existing ones, whose (path, block_index) addresses
+  /// and payloads stay untouched — readers holding block references (e.g.
+  /// a pinned dataset snapshot) are never invalidated by an append.
+  /// Close() republishes the extended file meta; concurrent appenders to
+  /// one path must serialize externally (last Close wins).
+  Result<std::unique_ptr<FileWriter>> Append(const std::string& path)
+      SHADOOP_EXCLUDES(mu_);
+
+  /// Renames src onto dst, replacing dst if it exists (the replaced
+  /// file's blocks are dropped). This is the atomic pointer-swap the
+  /// dataset catalog uses to publish a new current version.
+  Status Replace(const std::string& src, const std::string& dst)
       SHADOOP_EXCLUDES(mu_);
 
   /// Convenience: writes all `lines` as one file.
@@ -176,6 +192,9 @@ class FileSystem {
   BlockMeta StoreBlock(std::string payload, size_t num_records)
       SHADOOP_EXCLUDES(mu_);
   Status Register(FileMeta meta) SHADOOP_EXCLUDES(mu_);
+  /// Publishes the extended meta of an append (replaces the entry without
+  /// dropping blocks — the new meta still references them).
+  Status Update(FileMeta meta) SHADOOP_EXCLUDES(mu_);
   void DropBlocks(const FileMeta& meta) SHADOOP_REQUIRES(mu_);
 
   HdfsConfig config_;

@@ -47,14 +47,22 @@ int GlobalIndex::NearestPartition(const Point& p) const {
 }
 
 std::vector<std::string> GlobalIndex::ToLines() const {
+  // The 13th (source path) field appears only when some partition lives
+  // outside the data file, so pre-catalog masters stay byte-identical.
+  bool any_source = false;
+  for (const Partition& p : partitions_) {
+    if (!p.source_path.empty()) any_source = true;
+  }
   std::vector<std::string> lines;
   lines.reserve(partitions_.size());
   for (const Partition& p : partitions_) {
-    lines.push_back(std::to_string(p.id) + "," +
-                    std::to_string(p.block_index) + "," +
-                    EnvelopeToCsv(p.cell) + "," + EnvelopeToCsv(p.mbr) + "," +
-                    std::to_string(p.num_records) + "," +
-                    std::to_string(p.num_bytes));
+    std::string line = std::to_string(p.id) + "," +
+                       std::to_string(p.block_index) + "," +
+                       EnvelopeToCsv(p.cell) + "," + EnvelopeToCsv(p.mbr) +
+                       "," + std::to_string(p.num_records) + "," +
+                       std::to_string(p.num_bytes);
+    if (any_source) line += "," + p.source_path;
+    lines.push_back(std::move(line));
   }
   return lines;
 }
@@ -65,10 +73,13 @@ Result<GlobalIndex> GlobalIndex::FromLines(
   partitions.reserve(lines.size());
   for (const std::string& line : lines) {
     auto fields = SplitString(line, ',');
-    if (fields.size() != 12) {
+    // 12 fields is the original format; 13 adds the per-partition source
+    // path of versioned datasets (possibly empty for "the data file").
+    if (fields.size() != 12 && fields.size() != 13) {
       return Status::ParseError("bad master-file line: '" + line + "'");
     }
     Partition p;
+    if (fields.size() == 13) p.source_path = std::string(fields[12]);
     SHADOOP_ASSIGN_OR_RETURN(int64_t id, ParseInt64(fields[0]));
     SHADOOP_ASSIGN_OR_RETURN(int64_t block, ParseInt64(fields[1]));
     double coords[8];

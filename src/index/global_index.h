@@ -40,7 +40,10 @@ class GlobalIndex {
 
   /// Serialization to/from the master-file line format:
   /// id,block,cell_x1,cell_y1,cell_x2,cell_y2,mbr_x1,mbr_y1,mbr_x2,mbr_y2,
-  /// records,bytes
+  /// records,bytes[,source_path]
+  /// The optional 13th field is emitted only when some partition carries a
+  /// source path (versioned datasets sharing blocks across versions), so
+  /// pre-catalog master files round-trip byte-identically.
   std::vector<std::string> ToLines() const;
   static Result<GlobalIndex> FromLines(PartitionScheme scheme,
                                        const std::vector<std::string>& lines);

@@ -273,7 +273,12 @@ Result<SpatialFileInfo> IndexBuilder::Build(const std::string& source_path,
 
 Result<SpatialFileInfo> LoadSpatialFile(const hdfs::FileSystem& fs,
                                         const std::string& data_path) {
-  const std::string master_path = MasterPathFor(data_path);
+  return LoadSpatialFileFromMaster(fs, data_path, MasterPathFor(data_path));
+}
+
+Result<SpatialFileInfo> LoadSpatialFileFromMaster(
+    const hdfs::FileSystem& fs, const std::string& data_path,
+    const std::string& master_path) {
   SHADOOP_ASSIGN_OR_RETURN(std::vector<std::string> lines,
                            fs.ReadLines(master_path));
   if (lines.empty() || lines.front().rfind("#scheme=", 0) != 0) {

@@ -71,6 +71,13 @@ class IndexBuilder {
 Result<SpatialFileInfo> LoadSpatialFile(const hdfs::FileSystem& fs,
                                         const std::string& data_path);
 
+/// Same, but with the master file at an explicit path. Versioned datasets
+/// keep one master per version next to a shared data path, so the
+/// companion-path convention does not apply to them.
+Result<SpatialFileInfo> LoadSpatialFileFromMaster(
+    const hdfs::FileSystem& fs, const std::string& data_path,
+    const std::string& master_path);
+
 /// Master-file path convention.
 std::string MasterPathFor(const std::string& data_path);
 

@@ -43,7 +43,21 @@ struct Partition {
   Envelope mbr;
   size_t num_records = 0;
   size_t num_bytes = 0;
+  /// Data file holding this partition's block. Empty means "the indexed
+  /// file itself" (SpatialFileInfo::data_path) — the only case before the
+  /// dataset catalog existed. Versioned datasets share untouched
+  /// partitions across versions by pointing several masters at the same
+  /// (source_path, block_index) block, so a new version only rewrites the
+  /// partitions an append actually touched (copy-on-write).
+  std::string source_path;
 };
+
+/// The file a partition's block lives in: its explicit source_path, or
+/// the owning file's data_path when unset.
+inline const std::string& PartitionSourcePath(const Partition& p,
+                                              const std::string& data_path) {
+  return p.source_path.empty() ? data_path : p.source_path;
+}
 
 }  // namespace shadoop::index
 

@@ -15,6 +15,7 @@ namespace shadoop::pigeon {
 /// Dataset-producing expressions of the Pigeon language.
 ///
 ///   LOAD '<path>' AS (POINT | RECTANGLE | POLYGON)
+///   LOAD '<path>' APPEND <name>   -- ingest a batch into a catalog dataset
 ///   LOADINDEX '<path>'
 ///   INDEX <name> WITH (GRID | STR | STR+ | QUADTREE | KDTREE | ZCURVE |
 ///                      HILBERT) [INTO '<path>']
@@ -31,6 +32,7 @@ namespace shadoop::pigeon {
 struct Expr {
   enum class Kind {
     kLoad,
+    kAppend,
     kLoadIndex,
     kIndex,
     kRange,
@@ -48,7 +50,7 @@ struct Expr {
   Kind kind = Kind::kLoad;
   int line = 1;
 
-  // kLoad / kIndex.
+  // kLoad / kAppend / kIndex.
   std::string path;
   index::ShapeType shape = index::ShapeType::kPoint;
   index::PartitionScheme scheme = index::PartitionScheme::kStr;
@@ -72,6 +74,8 @@ struct Expr {
 ///   SET tenant '<name>' ;         -- session knobs (admission control)
 ///   SET tenant_slots <n> ;
 ///   SET max_task_attempts <n> ;
+///   SET snapshot_version <n> ;    -- pin catalog datasets to version n
+///                                 -- (0 restores each binding's version)
 struct Statement {
   enum class Kind { kAssign, kStore, kDump, kExplain, kSet };
 

@@ -1,5 +1,7 @@
 #include "pigeon/executor.h"
 
+#include <cstdio>
+
 #include "core/aggregate_op.h"
 #include "core/closest_pair_op.h"
 #include "core/convex_hull_op.h"
@@ -46,7 +48,7 @@ Result<ExecutionReport> Executor::Execute(std::string_view script) {
   for (const Statement& stmt : statements) {
     switch (stmt.kind) {
       case Statement::Kind::kAssign: {
-        Result<Dataset> dataset = Eval(stmt.expr, &report);
+        Result<Dataset> dataset = Eval(stmt.expr, &report, stmt.target);
         if (!dataset.ok()) return AtLine(stmt.line, dataset.status());
         env_[stmt.target] = std::move(dataset).value();
         break;
@@ -76,6 +78,8 @@ Result<ExecutionReport> Executor::Execute(std::string_view script) {
         } else if (stmt.target == "MAX_TASK_ATTEMPTS") {
           runner_->set_max_task_attempts_override(
               static_cast<int>(stmt.number));
+        } else if (stmt.target == "SNAPSHOT_VERSION") {
+          snapshot_version_ = static_cast<uint64_t>(stmt.number);
         } else {
           return ErrorAt(stmt.line,
                          "unknown session knob '" + stmt.target + "'");
@@ -101,8 +105,21 @@ Result<ExecutionReport> Executor::Execute(std::string_view script) {
                     index::ShapeTypeName(dataset.shape) + ", partitions=" +
                     std::to_string(gi.NumPartitions()) + ", records=" +
                     std::to_string(records) + ", local_indexes=" +
-                    (dataset.info->has_local_indexes ? "yes" : "no") +
-                    "); queries use pruned SpatialHadoop operators";
+                    (dataset.info->has_local_indexes ? "yes" : "no");
+            // Catalog-bound datasets also surface their pinned version and
+            // the skew metric driving incremental repartitioning.
+            if (!dataset.catalog_name.empty()) {
+              auto latest = catalog_.LatestVersion(dataset.catalog_name);
+              auto vstats =
+                  catalog_.Stats(dataset.catalog_name, dataset.version);
+              if (latest.ok() && vstats.ok()) {
+                char skew[32];
+                std::snprintf(skew, sizeof(skew), "%.2f", vstats->skew);
+                line += ", version=" + std::to_string(dataset.version) + "/" +
+                        std::to_string(latest.value()) + ", skew=" + skew;
+              }
+            }
+            line += "); queries use pruned SpatialHadoop operators";
             break;
           }
           case Dataset::Kind::kLines:
@@ -134,6 +151,16 @@ Result<ExecutionReport> Executor::Execute(std::string_view script) {
                   ", preempted_specs=" +
                   std::to_string(cost.admission_preempted_specs);
         }
+        // Ingest work, same nonzero-only contract: ingest.* counters only
+        // exist once an append ran, so bulk-only scripts keep byte-
+        // identical EXPLAIN output.
+        std::string ingest;
+        for (const auto& [name, value] : report.stats.counters.values()) {
+          if (name.rfind("ingest.", 0) != 0 || value == 0) continue;
+          ingest += (ingest.empty() ? "" : ", ") + name.substr(7) + "=" +
+                    std::to_string(value);
+        }
+        if (!ingest.empty()) line += "; ingest: " + ingest;
         report.dump_output.push_back(std::move(line));
         break;
       }
@@ -179,6 +206,18 @@ Result<Dataset> Executor::LookUp(const std::string& name, int line) const {
   if (it == env_.end()) {
     return ErrorAt(line, "unknown dataset '" + name + "'");
   }
+  // A SET snapshot_version override re-pins catalog-bound datasets at
+  // lookup time, so one session knob retargets every subsequent query
+  // without rebinding anything.
+  if (snapshot_version_ != 0 && !it->second.catalog_name.empty() &&
+      it->second.version != snapshot_version_) {
+    auto info = catalog_.Snapshot(it->second.catalog_name, snapshot_version_);
+    if (!info.ok()) return AtLine(line, info.status());
+    Dataset pinned = it->second;
+    pinned.info = std::move(info).value();
+    pinned.version = snapshot_version_;
+    return pinned;
+  }
   return it->second;
 }
 
@@ -191,7 +230,8 @@ Result<std::string> Executor::EnsureFile(const Dataset& dataset) {
   return path;
 }
 
-Result<Dataset> Executor::Eval(const Expr& expr, ExecutionReport* report) {
+Result<Dataset> Executor::Eval(const Expr& expr, ExecutionReport* report,
+                               const std::string& bind_name) {
   core::OpStats* stats = &report->stats;
   switch (expr.kind) {
     case Expr::Kind::kLoad: {
@@ -204,17 +244,56 @@ Result<Dataset> Executor::Eval(const Expr& expr, ExecutionReport* report) {
       dataset.path = expr.path;
       return dataset;
     }
-    case Expr::Kind::kLoadIndex: {
-      auto info = index::LoadSpatialFile(*runner_->file_system(), expr.path);
-      if (!info.ok()) {
-        return ErrorAt(expr.line, "cannot open index '" + expr.path +
-                                      "': " + info.status().ToString());
+    case Expr::Kind::kAppend: {
+      auto it = env_.find(expr.source);
+      if (it == env_.end()) {
+        return ErrorAt(expr.line, "unknown dataset '" + expr.source + "'");
       }
+      const Dataset& target = it->second;
+      if (target.catalog_name.empty()) {
+        return ErrorAt(expr.line,
+                       "APPEND needs a catalog-registered dataset (INDEX or "
+                       "LOADINDEX '" + expr.source + "' first)");
+      }
+      if (!runner_->file_system()->Exists(expr.path)) {
+        return ErrorAt(expr.line, "no such file '" + expr.path + "'");
+      }
+      SHADOOP_ASSIGN_OR_RETURN(
+          uint64_t version,
+          catalog_.Append(target.catalog_name, expr.path, stats));
+      // The binding `expr.source` keeps its pinned snapshot; the assigned
+      // result sees the new version.
+      SHADOOP_ASSIGN_OR_RETURN(index::SpatialFileInfo info,
+                               catalog_.Snapshot(target.catalog_name, version));
       Dataset dataset;
       dataset.kind = Dataset::Kind::kIndexed;
-      dataset.shape = info->shape;
+      dataset.shape = info.shape;
+      dataset.path = info.data_path;
+      dataset.catalog_name = target.catalog_name;
+      dataset.version = version;
+      dataset.info = std::move(info);
+      return dataset;
+    }
+    case Expr::Kind::kLoadIndex: {
+      // A dataset persisted by the catalog (it has an "@current" pointer)
+      // reattaches with its full version lineage; a plain indexed file
+      // registers as version 1.
+      Status opened = catalog_.Open(bind_name, expr.path);
+      if (!opened.ok()) {
+        return ErrorAt(expr.line, "cannot open index '" + expr.path +
+                                      "': " + opened.ToString());
+      }
+      SHADOOP_ASSIGN_OR_RETURN(uint64_t version,
+                               catalog_.LatestVersion(bind_name));
+      SHADOOP_ASSIGN_OR_RETURN(index::SpatialFileInfo info,
+                               catalog_.Snapshot(bind_name));
+      Dataset dataset;
+      dataset.kind = Dataset::Kind::kIndexed;
+      dataset.shape = info.shape;
       dataset.path = expr.path;
-      dataset.info = std::move(info).value();
+      dataset.info = std::move(info);
+      dataset.catalog_name = bind_name;
+      dataset.version = version;
       return dataset;
     }
     case Expr::Kind::kCount: {
@@ -263,6 +342,12 @@ Result<Dataset> Executor::Eval(const Expr& expr, ExecutionReport* report) {
       dataset.shape = source.shape;
       dataset.path = dest;
       dataset.info = std::move(info);
+      // Register the build as version 1 of the binding, so the dataset is
+      // appendable and snapshot-addressable. Pure bookkeeping: no job
+      // runs, no counter moves.
+      SHADOOP_RETURN_NOT_OK(catalog_.Register(bind_name, *dataset.info));
+      dataset.catalog_name = bind_name;
+      dataset.version = 1;
       return dataset;
     }
     case Expr::Kind::kRange: {

@@ -8,6 +8,7 @@
 #include <string_view>
 #include <vector>
 
+#include "catalog/dataset_catalog.h"
 #include "common/result.h"
 #include "core/op_stats.h"
 #include "index/index_builder.h"
@@ -27,6 +28,12 @@ struct Dataset {
   std::string path;                            // kFile / kIndexed.
   std::optional<index::SpatialFileInfo> info;  // kIndexed.
   std::vector<std::string> lines;              // kLines.
+
+  /// Catalog lineage of an indexed dataset (empty for plain files and
+  /// results): the binding is pinned to `version` of `catalog_name`, and
+  /// stays on that snapshot while appends create later versions.
+  std::string catalog_name;
+  uint64_t version = 0;
 };
 
 /// Result of running a script: everything DUMP produced, per-dataset row
@@ -44,7 +51,8 @@ struct ExecutionReport {
 /// change when an index appears, only its cost does.
 class Executor {
  public:
-  explicit Executor(mapreduce::JobRunner* runner) : runner_(runner) {}
+  explicit Executor(mapreduce::JobRunner* runner)
+      : runner_(runner), catalog_(runner) {}
 
   /// Parses and runs `script`. The environment persists across calls, so
   /// a REPL can feed statements incrementally.
@@ -52,6 +60,12 @@ class Executor {
 
   /// Access to bound datasets (for tests and tooling).
   const std::map<std::string, Dataset>& environment() const { return env_; }
+
+  /// The session's dataset catalog: every INDEX registers its result here
+  /// (version 1), `LOAD ... APPEND` grows it, and `SET snapshot_version`
+  /// re-pins catalog-bound datasets at lookup time.
+  catalog::DatasetCatalog& catalog() { return catalog_; }
+  uint64_t snapshot_version() const { return snapshot_version_; }
 
   /// Multi-tenant admission (DESIGN.md §10). A session starts with no
   /// controller — jobs run unconstrained, byte-identical to the
@@ -70,7 +84,10 @@ class Executor {
   const std::string& tenant() const { return tenant_; }
 
  private:
-  Result<Dataset> Eval(const Expr& expr, ExecutionReport* report);
+  /// `bind_name` is the assignment target; INDEX and LOADINDEX register
+  /// catalog datasets under it.
+  Result<Dataset> Eval(const Expr& expr, ExecutionReport* report,
+                       const std::string& bind_name);
   Result<Dataset> LookUp(const std::string& name, int line) const;
 
   /// Materializes a dataset as an HDFS file (writing result lines to a
@@ -98,6 +115,10 @@ class Executor {
   void BindAdmission();
 
   mapreduce::JobRunner* runner_;
+  catalog::DatasetCatalog catalog_;
+  /// SET snapshot_version override: 0 follows each binding's own pinned
+  /// version, n >= 1 re-resolves catalog-bound datasets to version n.
+  uint64_t snapshot_version_ = 0;
   std::map<std::string, Dataset> env_;
   int temp_counter_ = 0;
   std::string tenant_ = "default";

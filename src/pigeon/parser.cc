@@ -96,7 +96,8 @@ class Parser {
         }
         stmt.path = name.text;
       } else if (stmt.target == "TENANT_SLOTS" ||
-                 stmt.target == "MAX_TASK_ATTEMPTS") {
+                 stmt.target == "MAX_TASK_ATTEMPTS" ||
+                 stmt.target == "SNAPSHOT_VERSION") {
         SHADOOP_ASSIGN_OR_RETURN(stmt.number, Number());
         if (stmt.target == "TENANT_SLOTS" && stmt.number < 0) {
           return ErrorAt(knob, "tenant_slots must be >= 0");
@@ -104,10 +105,13 @@ class Parser {
         if (stmt.target == "MAX_TASK_ATTEMPTS" && stmt.number < 1) {
           return ErrorAt(knob, "max_task_attempts must be >= 1");
         }
+        if (stmt.target == "SNAPSHOT_VERSION" && stmt.number < 0) {
+          return ErrorAt(knob, "snapshot_version must be >= 0");
+        }
       } else {
         return ErrorAt(knob, "unknown session knob '" + knob.text +
-                                 "' (expected tenant, tenant_slots or "
-                                 "max_task_attempts)");
+                                 "' (expected tenant, tenant_slots, "
+                                 "max_task_attempts or snapshot_version)");
       }
     } else if (upper == "DUMP" || upper == "EXPLAIN") {
       Next();
@@ -144,9 +148,17 @@ class Parser {
                                Expect(TokenType::kString, "a path string"));
       expr.path = path.text;
       SHADOOP_ASSIGN_OR_RETURN(std::string as, Keyword());
-      if (as != "AS") return ErrorAt(op_token, "expected AS after LOAD path");
-      SHADOOP_ASSIGN_OR_RETURN(std::string shape, Keyword());
-      SHADOOP_ASSIGN_OR_RETURN(expr.shape, index::ParseShapeType(shape));
+      if (as == "APPEND") {
+        expr.kind = Expr::Kind::kAppend;
+        SHADOOP_ASSIGN_OR_RETURN(
+            Token src, Expect(TokenType::kIdentifier, "a dataset name"));
+        expr.source = src.text;
+      } else if (as == "AS") {
+        SHADOOP_ASSIGN_OR_RETURN(std::string shape, Keyword());
+        SHADOOP_ASSIGN_OR_RETURN(expr.shape, index::ParseShapeType(shape));
+      } else {
+        return ErrorAt(op_token, "expected AS or APPEND after LOAD path");
+      }
     } else if (op == "INDEX") {
       expr.kind = Expr::Kind::kIndex;
       SHADOOP_ASSIGN_OR_RETURN(

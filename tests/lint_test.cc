@@ -45,7 +45,8 @@ TEST(LintRegistry, ExposesEveryRule) {
   }
   for (const char* expected :
        {"banned-clock", "banned-random", "unordered-iteration", "naked-mutex",
-        "iostream-include"}) {
+        "iostream-include", "banned-float-accum",
+        "unstable-sort-before-emit"}) {
     EXPECT_NE(std::find(ids.begin(), ids.end(), expected), ids.end())
         << "missing rule " << expected;
   }
@@ -199,6 +200,74 @@ TEST(IostreamInclude, FiresOnInclude) {
 
 TEST(IostreamInclude, QuietOnOtherStreams) {
   EXPECT_TRUE(Lint("#include <sstream>\n#include <fstream>\n").empty());
+}
+
+// ---------------------------------------------------------------------------
+// banned-float-accum
+
+TEST(BannedFloatAccum, FiresOnDeclarationsCastsAndTemplateArgs) {
+  EXPECT_TRUE(HasRule(Lint("float sum = 0;\n"), "banned-float-accum"));
+  EXPECT_TRUE(HasRule(Lint("auto x = static_cast<float>(area);\n"),
+                      "banned-float-accum"));
+  EXPECT_TRUE(
+      HasRule(Lint("std::vector<float> coords;\n"), "banned-float-accum"));
+}
+
+TEST(BannedFloatAccum, QuietOnDoublesAndLookalikes) {
+  EXPECT_TRUE(Lint("double sum = 0;\n"
+                   "int floaters = 2;\n"
+                   "auto y = my_float32(v);\n")
+                  .empty());
+}
+
+TEST(BannedFloatAccum, QuietInCommentsAndStrings) {
+  EXPECT_TRUE(Lint("// float would lose MBR precision here\n"
+                   "const char* kMsg = \"float not allowed\";\n")
+                  .empty());
+}
+
+TEST(BannedFloatAccum, AllowEscapeSuppresses) {
+  EXPECT_TRUE(
+      Lint("float raw_gl_coord;  // lint:allow(banned-float-accum)\n")
+          .empty());
+}
+
+// ---------------------------------------------------------------------------
+// unstable-sort-before-emit
+
+TEST(UnstableSortBeforeEmit, FiresWhenSortFeedsEmit) {
+  std::vector<Finding> findings =
+      Lint("std::sort(rows.begin(), rows.end(), ByDistance);\n"
+           "for (const Row& row : rows) {\n"
+           "  ctx.Emit(row.key, row.value);\n"
+           "}\n");
+  ASSERT_TRUE(HasRule(findings, "unstable-sort-before-emit"));
+  EXPECT_EQ(findings[0].line, 1);
+}
+
+TEST(UnstableSortBeforeEmit, FiresWhenSortFeedsWriteOutput) {
+  EXPECT_TRUE(HasRule(Lint("std::sort(out.begin(), out.end());\n"
+                           "for (auto& line : out) ctx.WriteOutput(line);\n"),
+                      "unstable-sort-before-emit"));
+}
+
+TEST(UnstableSortBeforeEmit, QuietOnStableSortAndFarAwayEmit) {
+  EXPECT_TRUE(Lint("std::stable_sort(rows.begin(), rows.end(), ByDistance);\n"
+                   "for (const Row& row : rows) ctx.Emit(row.key, row.v);\n")
+                  .empty());
+  // A sort with no emit in the window is some other computation.
+  std::string far = "std::sort(ids.begin(), ids.end());\n";
+  for (int i = 0; i < 14; ++i) far += "Use(ids);\n";
+  far += "ctx.Emit(key, value);\n";
+  EXPECT_TRUE(Lint(far).empty());
+}
+
+TEST(UnstableSortBeforeEmit, AllowEscapeSuppresses) {
+  EXPECT_TRUE(
+      Lint("std::sort(rows.begin(), rows.end(), "
+           "TotalOrder);  // lint:allow(unstable-sort-before-emit)\n"
+           "for (const Row& row : rows) ctx.Emit(row.key, row.value);\n")
+          .empty());
 }
 
 // ---------------------------------------------------------------------------

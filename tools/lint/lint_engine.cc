@@ -344,6 +344,50 @@ void IostreamIncludeRule(const FileView& view, const RuleInfo& rule,
   }
 }
 
+void BannedFloatAccumRule(const FileView& view, const RuleInfo& rule,
+                          std::vector<Finding>* findings) {
+  for (size_t i = 0; i < view.code.size(); ++i) {
+    // `float` as a whole token covers declarations, casts and template
+    // arguments alike; float32_t-style names don't match.
+    if (!TokenHits(view.code[i], "float").empty()) {
+      AddFinding(view, i, rule, findings);
+    }
+  }
+}
+
+/// `name(` occurrences including member calls (`ctx.Emit(`): the rule
+/// cares that records flow out, not through which receiver.
+bool HasCallToken(const std::string& line, std::string_view name) {
+  for (size_t pos : TokenHits(line, name)) {
+    size_t i = pos + name.size();
+    while (i < line.size() && line[i] == ' ') ++i;
+    if (i < line.size() && line[i] == '(') return true;
+  }
+  return false;
+}
+
+void UnstableSortBeforeEmitRule(const FileView& view, const RuleInfo& rule,
+                                std::vector<Finding>* findings) {
+  constexpr size_t kWindow = 12;
+  for (size_t i = 0; i < view.code.size(); ++i) {
+    bool is_std_sort = false;
+    for (size_t pos : TokenHits(view.code[i], "sort")) {
+      if (pos >= 5 && view.code[i].compare(pos - 5, 5, "std::") == 0) {
+        is_std_sort = true;
+      }
+    }
+    if (!is_std_sort) continue;
+    const size_t last = std::min(view.code.size(), i + 1 + kWindow);
+    for (size_t j = i; j < last; ++j) {
+      if (HasCallToken(view.code[j], "Emit") ||
+          HasCallToken(view.code[j], "WriteOutput")) {
+        AddFinding(view, i, rule, findings);
+        break;
+      }
+    }
+  }
+}
+
 const std::vector<RuleImpl>& RuleRegistry() {
   static const std::vector<RuleImpl>* kRules = new std::vector<RuleImpl>{
       {{"banned-clock",
@@ -372,6 +416,19 @@ const std::vector<RuleImpl>& RuleRegistry() {
         "<iostream> in library code; log through common/logging.h"},
        {},
        &IostreamIncludeRule},
+      {{"banned-float-accum",
+        "float in library code; geometry accumulation is double-only — "
+        "float rounding shifts MBRs, cell boundaries and dedup reference "
+        "points between runs and platforms"},
+       {},
+       &BannedFloatAccumRule},
+      {{"unstable-sort-before-emit",
+        "std::sort feeding emitted output; equal-key order is "
+        "unspecified and varies across libc++ versions — use "
+        "std::stable_sort (or a total tie-breaking comparator) before "
+        "Emit/WriteOutput"},
+       {},
+       &UnstableSortBeforeEmitRule},
   };
   return *kRules;
 }
