@@ -3,7 +3,7 @@
 # revision. Builds bench_hotpath in Release mode twice — once in this
 # tree, once in a detached worktree of the baseline ref (default:
 # HEAD~1) with the same harness source copied in — runs both with
-# identical fixed seeds, and merges the two reports into BENCH_pr6.json.
+# identical fixed seeds, and merges the two reports into BENCH_pr7.json.
 # Besides the zero-copy benchmarks, the current tree also runs the
 # fault-recovery scenario (5% task failures + stragglers) and the
 # incremental-ingest scenario (catalog appends vs a full rebuild);
@@ -21,7 +21,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 BASELINE_REF="${1:-HEAD~1}"
 REPS="${REPS:-3}"
-OUT="${OUT:-BENCH_pr6.json}"
+OUT="${OUT:-BENCH_pr7.json}"
 BASELINE_DIR=".bench-baseline"
 
 echo "== building current tree (Release) =="
@@ -68,3 +68,40 @@ echo "== merging -> ${OUT} =="
 ./build-bench/bench/bench_hotpath --merge \
   build-bench/baseline.json build-bench/current.json > "${OUT}"
 cat "${OUT}"
+
+# Trajectory check: a scenario whose speedup drops versus the previous
+# PR's report is a regression in the making (spatial_join slid
+# 1.10x -> 1.05x between pr3 and pr6 with nothing saying so). Compare
+# each scenario against the newest committed BENCH_pr*.json other than
+# ${OUT} and warn — advisory, not blocking, because reports may span
+# runners; the same-runner wall-clock bound stays the blocking check.
+PREV=""
+for report in $(ls BENCH_pr*.json 2>/dev/null | sort -V); do
+  [ "${report}" = "${OUT}" ] && continue
+  PREV="${report}"
+done
+if [ -n "${PREV}" ]; then
+  echo "== speedup trajectory vs ${PREV} =="
+  awk -v prev="${PREV}" -v prev_name="${PREV}" '
+    function row(line, arr) {
+      if (match(line, /"name": "[^"]+"/) == 0) return ""
+      name = substr(line, RSTART + 9, RLENGTH - 10)
+      if (match(line, /"speedup": [-0-9.eE+]+/) == 0) return ""
+      arr[name] = substr(line, RSTART + 11, RLENGTH - 11) + 0
+      return name
+    }
+    FNR == NR { row($0, p); next }          # first file: previous report
+    {
+      name = row($0, c)
+      # Rows either tree could not run carry speedup <= 0; skip them.
+      if (name == "" || !(name in p) || p[name] <= 0 || c[name] <= 0) next
+      printf "  %-20s %.2fx -> %.2fx", name, p[name], c[name]
+      if (c[name] < p[name]) {
+        printf "   WARNING: speedup fell vs %s", prev_name
+        warned = 1
+      }
+      printf "\n"
+    }
+    END { if (warned) print "  (investigate before merging: a drop here compounds silently)" }
+  ' "${PREV}" "${OUT}"
+fi

@@ -153,9 +153,14 @@ Result<std::vector<KnnAnswer>> KnnSpatial(mapreduce::JobRunner* runner,
   if (k == 0) return std::vector<KnnAnswer>{};
 
   // Seed: nearest partitions until they collectively hold >= k records.
+  // Distances come from one batch kernel over the packed MBR lanes,
+  // bit-identical to per-partition MinDistance, so the ranking (and the
+  // rounds it drives) is unchanged.
+  const std::vector<double> distances = gi.PartitionDistances(q);
   std::vector<std::pair<double, int>> by_distance;
-  for (const index::Partition& p : gi.partitions()) {
-    by_distance.emplace_back(p.mbr.MinDistance(q), p.id);
+  by_distance.reserve(gi.NumPartitions());
+  for (size_t i = 0; i < gi.NumPartitions(); ++i) {
+    by_distance.emplace_back(distances[i], gi.partitions()[i].id);
   }
   std::sort(by_distance.begin(), by_distance.end());
   std::set<int> processed;

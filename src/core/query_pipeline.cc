@@ -8,12 +8,35 @@ namespace shadoop::core {
 // ---------------------------------------------------------------------
 // PartitionView
 
-const index::RTree& PartitionView::LocalIndex(mapreduce::MapContext& ctx) {
-  if (!local_index_.has_value()) {
+const index::PackedRTree& PartitionView::LocalIndex(
+    mapreduce::MapContext& ctx) {
+  if (local_index_ == nullptr) {
     // A persisted local index loads linearly; otherwise the bulk load
-    // parses geometry and sorts — O(n log n).
+    // parses geometry and sorts — O(n log n). The charge is the same
+    // whether the packed tree is built here or adopted from the cache:
+    // the simulated cluster has no artifact cache, only this process
+    // does.
     const bool persisted = reader_.has_local_index();
-    local_index_.emplace(reader_.Envelopes());
+    std::string key;
+    if (reader_.cache() != nullptr && reader_.cache_block_id() != 0) {
+      key = "ptree:" + std::to_string(static_cast<int>(shape())) + ':' +
+            std::to_string(reader_.cache_block_id());
+      if (auto hit = reader_.cache()->Lookup(key)) {
+        local_index_ =
+            std::static_pointer_cast<const index::PackedRTree>(hit);
+        // The build path runs Envelopes(), which counts the envelope
+        // column's parse failures into bad_records(); mirror that.
+        reader_.CountEnvelopeBad();
+      }
+    }
+    if (local_index_ == nullptr) {
+      auto built = std::make_shared<index::PackedRTree>(reader_.Envelopes());
+      local_index_ =
+          key.empty() ? std::shared_ptr<const index::PackedRTree>(
+                            std::move(built))
+                      : std::static_pointer_cast<const index::PackedRTree>(
+                            reader_.cache()->Insert(key, std::move(built)));
+    }
     const size_t n = local_index_->NumEntries();
     ctx.ChargeCpu(persisted
                       ? static_cast<uint64_t>(n)
@@ -26,7 +49,7 @@ const index::RTree& PartitionView::LocalIndex(mapreduce::MapContext& ctx) {
 
 std::vector<uint32_t> PartitionView::Search(const Envelope& query,
                                             mapreduce::MapContext& ctx) {
-  const index::RTree& tree = LocalIndex(ctx);
+  const index::PackedRTree& tree = LocalIndex(ctx);
   std::vector<uint32_t> hits;
   const size_t visited = tree.Search(query, &hits);
   ctx.ChargeCpu(visited * 50);
@@ -45,6 +68,15 @@ void PartitionMapper::BeginSplit(mapreduce::MapContext& ctx) {
     return;
   }
   extent_ = extent.value();
+}
+
+void PartitionMapper::BeginBlock(size_t ordinal,
+                                 mapreduce::MapContext& ctx) {
+  // Artifact sharing is per single block: only a one-block split makes
+  // the view's content exactly one block.
+  if (ordinal == 0 && ctx.split().blocks.size() == 1) {
+    view_.AttachCache(ctx.artifact_cache(), ctx.block_cache_id(0));
+  }
 }
 
 void PartitionMapper::Map(std::string_view record,
@@ -85,8 +117,13 @@ void PairPartitionMapper::BeginSplit(mapreduce::MapContext& ctx) {
 
 void PairPartitionMapper::BeginBlock(size_t ordinal,
                                      mapreduce::MapContext& ctx) {
-  (void)ctx;
   in_a_ = ordinal == 0;
+  // Each side's view holds exactly one block in a two-block pair split,
+  // so both can share artifacts; wider splits stay uncached.
+  if (ordinal < 2 && ctx.split().blocks.size() == 2) {
+    (in_a_ ? view_a_ : view_b_)
+        .AttachCache(ctx.artifact_cache(), ctx.block_cache_id(ordinal));
+  }
 }
 
 void PairPartitionMapper::Map(std::string_view record,

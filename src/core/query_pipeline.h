@@ -1,7 +1,7 @@
 #ifndef SHADOOP_CORE_QUERY_PIPELINE_H_
 #define SHADOOP_CORE_QUERY_PIPELINE_H_
 
-#include <optional>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -11,6 +11,7 @@
 #include "core/spatial_file_splitter.h"
 #include "core/spatial_record_reader.h"
 #include "index/index_builder.h"
+#include "index/packed_rtree.h"
 #include "mapreduce/job_runner.h"
 
 namespace shadoop::core {
@@ -52,6 +53,14 @@ class PartitionView {
   /// mappers borrow the runner's pinned block bytes this way.
   void AddBorrowed(std::string_view record) { reader_.AddBorrowed(record); }
 
+  /// Enables artifact sharing (parsed columns, packed local index) when
+  /// this view will hold exactly the records of the block with this id —
+  /// see SpatialRecordReader::AttachCache. The partition mappers attach
+  /// in BeginBlock, before the first record arrives.
+  void AttachCache(mapreduce::ArtifactCache* cache, uint64_t block_id) {
+    reader_.AttachCache(cache, block_id);
+  }
+
   index::ShapeType shape() const { return reader_.shape(); }
   size_t NumRecords() const { return reader_.NumRecords(); }
   const std::vector<std::string_view>& records() const {
@@ -76,9 +85,12 @@ class PartitionView {
   /// once (e.g. the join refinement step).
   SpatialRecordReader& reader() { return reader_; }
 
-  /// The memoized local R-tree. The first call bulk-loads it and charges
-  /// `ctx` the build cost; later calls are free.
-  const index::RTree& LocalIndex(mapreduce::MapContext& ctx);
+  /// The memoized local index, in the cache-packed SoA layout (identical
+  /// search results and visited counts to the RTree it replaces). The
+  /// first call bulk-loads it — or adopts a cached build of the same
+  /// block — and charges `ctx` the build cost; later calls are free. The
+  /// simulated charge is identical on cache hit and miss.
+  const index::PackedRTree& LocalIndex(mapreduce::MapContext& ctx);
 
   /// R-tree range search through the memoized index, charging the cost
   /// model per visited node.
@@ -87,7 +99,7 @@ class PartitionView {
 
  private:
   SpatialRecordReader reader_;
-  std::optional<index::RTree> local_index_;
+  std::shared_ptr<const index::PackedRTree> local_index_;
 };
 
 // ---------------------------------------------------------------------
@@ -103,6 +115,7 @@ class PartitionMapper : public mapreduce::Mapper {
       : view_(shape), parse_extent_(parse_extent) {}
 
   void BeginSplit(mapreduce::MapContext& ctx) override;
+  void BeginBlock(size_t ordinal, mapreduce::MapContext& ctx) override;
   void Map(std::string_view record, mapreduce::MapContext& ctx) override;
   void EndSplit(mapreduce::MapContext& ctx) override;
 

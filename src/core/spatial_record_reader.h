@@ -1,6 +1,7 @@
 #ifndef SHADOOP_CORE_SPATIAL_RECORD_READER_H_
 #define SHADOOP_CORE_SPATIAL_RECORD_READER_H_
 
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -12,6 +13,7 @@
 #include "hdfs/block_arena.h"
 #include "index/record_shape.h"
 #include "index/rtree.h"
+#include "mapreduce/artifact_cache.h"
 
 namespace shadoop::core {
 
@@ -28,11 +30,28 @@ namespace shadoop::core {
 /// every later access — including the R-tree bulk load — reads directly.
 /// A partition persisted with a `#lidx` header feeds the envelope column
 /// without parsing any geometry at all.
+///
+/// With AttachCache() the columns and the decoded header are shared
+/// across map tasks through the runner's ArtifactCache: the reader of a
+/// later task over the same immutable block adopts the already-parsed
+/// column instead of re-parsing. Hits change wall-clock time only —
+/// bad-record counts and every value are identical by construction (the
+/// artifact was built from the same bytes by the same code).
 class SpatialRecordReader {
  public:
   explicit SpatialRecordReader(index::ShapeType shape) : shape_(shape) {}
 
   index::ShapeType shape() const { return shape_; }
+
+  /// Enables artifact sharing for a reader that will hold exactly the
+  /// records of the block with this immutable id. Must be called before
+  /// any record is fed and at most once; later or repeated attaches
+  /// disable caching for this reader (its content is no longer known to
+  /// be exactly one block). Null cache / zero id are ignored.
+  void AttachCache(mapreduce::ArtifactCache* cache, uint64_t block_id);
+
+  mapreduce::ArtifactCache* cache() const { return cache_; }
+  uint64_t cache_block_id() const { return cache_block_id_; }
 
   /// Feeds one raw record, copying it into the reader's arena — safe for
   /// callers whose bytes die immediately. '#'-prefixed metadata records
@@ -45,15 +64,17 @@ class SpatialRecordReader {
   /// task attempt, so partition mappers borrow).
   void AddBorrowed(std::string_view record);
 
-  /// Drops all records, parsed columns, the local-index header, and the
-  /// arena — the reader is reusable as if freshly constructed.
+  /// Drops all records, parsed columns, the local-index header, the
+  /// cache attachment, and the arena — the reader is reusable as if
+  /// freshly constructed.
   void Clear();
 
   /// True when the partition carried a persisted local index, so
   /// Envelopes()/BuildLocalIndex() need no geometry parsing. Callers use
   /// this to charge the cost model less CPU.
   bool has_local_index() const {
-    return preparsed_envelopes_.size() == records_.size() &&
+    return preparsed_envelopes_ != nullptr &&
+           preparsed_envelopes_->size() == records_.size() &&
            !records_.empty();
   }
 
@@ -69,6 +90,12 @@ class SpatialRecordReader {
 
   /// Parses all records as polygons (shape must be kPolygon).
   std::vector<Polygon> Polygons();
+
+  /// Adds the envelope column's parse-failure count to bad_records(),
+  /// exactly like one Envelopes() call does — the local-index cache-hit
+  /// path uses this to keep bad-record accounting identical without
+  /// materializing the entry vector.
+  void CountEnvelopeBad();
 
   /// Bulk-loads the local R-tree over the record envelopes. The returned
   /// `visited` counts from RTree::Search should be fed to
@@ -90,37 +117,62 @@ class SpatialRecordReader {
   /// Polygon geometry of record i (shape must be kPolygon).
   const Polygon* PolygonAt(size_t i);
 
+  // Memoized geometry columns (SoA): value + validity per record, plus
+  // the parse-failure count each legacy accessor call adds to
+  // bad_records(). Immutable once built, so they are shareable across
+  // tasks through the ArtifactCache.
+  struct PointColumn {
+    std::vector<Point> values;
+    std::vector<char> valid;
+    size_t bad = 0;
+  };
+  struct EnvelopeColumn {
+    std::vector<Envelope> values;
+    std::vector<char> valid;
+    size_t bad = 0;
+  };
+  struct PolygonColumn {
+    std::vector<Polygon> values;
+    std::vector<char> valid;
+    size_t bad = 0;
+  };
+
+  /// The memoized envelope column (built on first use); exposed so batch
+  /// kernels can run over the SoA lanes directly.
+  const EnvelopeColumn& envelope_column() {
+    EnsureEnvelopeColumn();
+    return *envelope_column_;
+  }
+
  private:
   void AddRecord(std::string_view stable_record);
+  void ConsumeHeader(std::string_view record);
   void InvalidateColumns();
   void EnsurePointColumn();
   void EnsureEnvelopeColumn();
   void EnsurePolygonColumn();
   void CheckInvariants() const;
 
+  /// Cache key for this block's artifact of the given kind, or "" when
+  /// sharing is unavailable. Keys carry the shape because the envelope
+  /// column's derivation depends on it.
+  std::string CacheKey(const char* kind) const;
+
   index::ShapeType shape_;
   hdfs::BlockArena arena_;  // Owns bytes behind Add()-ed records.
   std::vector<std::string_view> records_;
-  std::vector<Envelope> preparsed_envelopes_;  // From the #lidx header.
+  // From the #lidx header; shared so a cached decode is adopted, not
+  // copied. Null until a header is decoded.
+  std::shared_ptr<const std::vector<Envelope>> preparsed_envelopes_;
   size_t bad_records_ = 0;
 
-  // Memoized geometry columns (SoA): value + validity per record. The
-  // *_bad_ counts are what each legacy accessor call adds to
-  // bad_records(), preserving its parse-and-count-per-call contract.
-  bool point_column_built_ = false;
-  std::vector<Point> point_column_;
-  std::vector<char> point_valid_;
-  size_t point_bad_ = 0;
+  mapreduce::ArtifactCache* cache_ = nullptr;
+  uint64_t cache_block_id_ = 0;
 
-  bool envelope_column_built_ = false;
-  std::vector<Envelope> envelope_column_;
-  std::vector<char> envelope_valid_;
-  size_t envelope_bad_ = 0;
-
-  bool polygon_column_built_ = false;
-  std::vector<Polygon> polygon_column_;
-  std::vector<char> polygon_valid_;
-  size_t polygon_bad_ = 0;
+  // Null = not built yet.
+  std::shared_ptr<const PointColumn> point_column_;
+  std::shared_ptr<const EnvelopeColumn> envelope_column_;
+  std::shared_ptr<const PolygonColumn> polygon_column_;
 };
 
 }  // namespace shadoop::core

@@ -29,7 +29,13 @@ Status ExpectChar(std::string_view& text, char c) {
   return Status::OK();
 }
 
+bool IsAsciiSpace(char c) {
+  return std::isspace(static_cast<unsigned char>(c)) != 0;
+}
+
 /// Parses "x y" coordinate pairs separated by commas until the closing ')'.
+/// Tokens are scanned in place (no SplitWhitespace vector) — this runs once
+/// per vertex of every polygon record on the join hot path.
 Result<std::vector<Point>> ParseCoordinateList(std::string_view& text) {
   std::vector<Point> points;
   for (;;) {
@@ -38,13 +44,24 @@ Result<std::vector<Point>> ParseCoordinateList(std::string_view& text) {
     if (end == std::string_view::npos) {
       return Status::ParseError("unterminated coordinate list in WKT");
     }
-    auto coords = SplitWhitespace(text.substr(0, end));
-    if (coords.size() != 2) {
-      return Status::ParseError("expected 'x y' coordinate in WKT, got '" +
-                                std::string(text.substr(0, end)) + "'");
+    const std::string_view pair = text.substr(0, end);
+    std::string_view tokens[2];
+    int count = 0;
+    size_t i = 0;
+    while (i < pair.size()) {
+      while (i < pair.size() && IsAsciiSpace(pair[i])) ++i;
+      const size_t start = i;
+      while (i < pair.size() && !IsAsciiSpace(pair[i])) ++i;
+      if (i == start) break;  // Only trailing whitespace remained.
+      if (count < 2) tokens[count] = pair.substr(start, i - start);
+      ++count;
     }
-    SHADOOP_ASSIGN_OR_RETURN(double x, ParseDouble(coords[0]));
-    SHADOOP_ASSIGN_OR_RETURN(double y, ParseDouble(coords[1]));
+    if (count != 2) {
+      return Status::ParseError("expected 'x y' coordinate in WKT, got '" +
+                                std::string(pair) + "'");
+    }
+    SHADOOP_ASSIGN_OR_RETURN(double x, ParseDouble(tokens[0]));
+    SHADOOP_ASSIGN_OR_RETURN(double y, ParseDouble(tokens[1]));
     points.emplace_back(x, y);
     const char delim = text[end];
     text.remove_prefix(end + 1);
@@ -129,26 +146,30 @@ std::string EnvelopeToCsv(const Envelope& e) {
 }
 
 Result<Point> ParsePointCsv(std::string_view text) {
-  auto fields = SplitString(StripWhitespace(text), ',');
-  if (fields.size() < 2) {
+  FieldCursor fields(StripWhitespace(text), ',');
+  std::string_view fx;
+  std::string_view fy;
+  if (!fields.Next(&fx) || !fields.Next(&fy)) {
     return Status::ParseError("point record needs 'x,y': '" +
                               std::string(text) + "'");
   }
-  SHADOOP_ASSIGN_OR_RETURN(double x, ParseDouble(fields[0]));
-  SHADOOP_ASSIGN_OR_RETURN(double y, ParseDouble(fields[1]));
+  SHADOOP_ASSIGN_OR_RETURN(double x, ParseDouble(fx));
+  SHADOOP_ASSIGN_OR_RETURN(double y, ParseDouble(fy));
   return Point(x, y);
 }
 
 Result<Envelope> ParseEnvelopeCsv(std::string_view text) {
-  auto fields = SplitString(StripWhitespace(text), ',');
-  if (fields.size() < 4) {
+  FieldCursor fields(StripWhitespace(text), ',');
+  std::string_view f[4];
+  if (!fields.Next(&f[0]) || !fields.Next(&f[1]) || !fields.Next(&f[2]) ||
+      !fields.Next(&f[3])) {
     return Status::ParseError("rectangle record needs 'x1,y1,x2,y2': '" +
                               std::string(text) + "'");
   }
-  SHADOOP_ASSIGN_OR_RETURN(double x1, ParseDouble(fields[0]));
-  SHADOOP_ASSIGN_OR_RETURN(double y1, ParseDouble(fields[1]));
-  SHADOOP_ASSIGN_OR_RETURN(double x2, ParseDouble(fields[2]));
-  SHADOOP_ASSIGN_OR_RETURN(double y2, ParseDouble(fields[3]));
+  SHADOOP_ASSIGN_OR_RETURN(double x1, ParseDouble(f[0]));
+  SHADOOP_ASSIGN_OR_RETURN(double y1, ParseDouble(f[1]));
+  SHADOOP_ASSIGN_OR_RETURN(double x2, ParseDouble(f[2]));
+  SHADOOP_ASSIGN_OR_RETURN(double y2, ParseDouble(f[3]));
   if (x2 < x1 || y2 < y1) {
     return Status::ParseError("rectangle with inverted bounds: '" +
                               std::string(text) + "'");

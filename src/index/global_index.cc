@@ -1,21 +1,40 @@
 #include "index/global_index.h"
 
+#include <bit>
+#include <cstdint>
 #include <limits>
 
 #include "common/string_util.h"
 #include "geometry/wkt.h"
+#include "simd/mbr_kernels.h"
 
 namespace shadoop::index {
 
 std::vector<std::pair<int, int>> OverlappingPartitionPairs(
     const GlobalIndex& a, const GlobalIndex& b) {
+  // One batch sweep over b's MBR lanes per a-partition; hit order is
+  // ascending, so the pair list is identical to the old nested loops.
   std::vector<std::pair<int, int>> pairs;
   for (const Partition& pa : a.partitions()) {
-    for (const Partition& pb : b.partitions()) {
-      if (pa.mbr.Intersects(pb.mbr)) pairs.emplace_back(pa.id, pb.id);
+    for (int ib : b.OverlappingPartitions(pa.mbr)) {
+      pairs.emplace_back(pa.id, ib);
     }
   }
   return pairs;
+}
+
+void GlobalIndex::BuildMbrLanes() {
+  const size_t n = partitions_.size();
+  mbr_min_x_.resize(n);
+  mbr_min_y_.resize(n);
+  mbr_max_x_.resize(n);
+  mbr_max_y_.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    mbr_min_x_[i] = partitions_[i].mbr.min_x();
+    mbr_min_y_[i] = partitions_[i].mbr.min_y();
+    mbr_max_x_[i] = partitions_[i].mbr.max_x();
+    mbr_max_y_[i] = partitions_[i].mbr.max_y();
+  }
 }
 
 Envelope GlobalIndex::Bounds() const {
@@ -27,23 +46,45 @@ Envelope GlobalIndex::Bounds() const {
 std::vector<int> GlobalIndex::OverlappingPartitions(
     const Envelope& query) const {
   std::vector<int> ids;
-  for (const Partition& p : partitions_) {
-    if (p.mbr.Intersects(query)) ids.push_back(p.id);
+  if (partitions_.empty() || query.IsEmpty()) return ids;
+  const simd::BoxLanes lanes{mbr_min_x_.data(), mbr_min_y_.data(),
+                             mbr_max_x_.data(), mbr_max_y_.data()};
+  std::vector<uint64_t> bits(simd::BitmapWords(partitions_.size()));
+  simd::IntersectBoxBitmap(lanes, partitions_.size(), query.min_x(),
+                           query.min_y(), query.max_x(), query.max_y(),
+                           bits.data());
+  for (size_t w = 0; w < bits.size(); ++w) {
+    uint64_t word = bits[w];
+    while (word != 0) {
+      const size_t i = w * 64 + static_cast<size_t>(std::countr_zero(word));
+      word &= word - 1;
+      ids.push_back(partitions_[i].id);
+    }
   }
   return ids;
 }
 
 int GlobalIndex::NearestPartition(const Point& p) const {
+  const std::vector<double> distances = PartitionDistances(p);
   int best = -1;
   double best_dist = std::numeric_limits<double>::infinity();
-  for (const Partition& part : partitions_) {
-    const double d = part.mbr.MinDistance(p);
-    if (d < best_dist) {
-      best_dist = d;
-      best = part.id;
+  for (size_t i = 0; i < partitions_.size(); ++i) {
+    if (distances[i] < best_dist) {
+      best_dist = distances[i];
+      best = partitions_[i].id;
     }
   }
   return best;
+}
+
+std::vector<double> GlobalIndex::PartitionDistances(const Point& p) const {
+  std::vector<double> distances(partitions_.size());
+  if (partitions_.empty()) return distances;
+  const simd::BoxLanes lanes{mbr_min_x_.data(), mbr_min_y_.data(),
+                             mbr_max_x_.data(), mbr_max_y_.data()};
+  simd::BoxMinDistance(lanes, partitions_.size(), p.x, p.y,
+                       distances.data());
+  return distances;
 }
 
 std::vector<std::string> GlobalIndex::ToLines() const {

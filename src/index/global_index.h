@@ -19,7 +19,9 @@ class GlobalIndex {
  public:
   GlobalIndex() = default;
   GlobalIndex(PartitionScheme scheme, std::vector<Partition> partitions)
-      : scheme_(scheme), partitions_(std::move(partitions)) {}
+      : scheme_(scheme), partitions_(std::move(partitions)) {
+    BuildMbrLanes();
+  }
 
   PartitionScheme scheme() const { return scheme_; }
   bool IsDisjoint() const { return IsDisjointScheme(scheme_); }
@@ -38,6 +40,12 @@ class GlobalIndex {
   /// index is empty. Seed partition of the kNN operation.
   int NearestPartition(const Point& p) const;
 
+  /// MinDistance of every partition's MBR to `p`, in partition order —
+  /// one batch kernel call, bit-identical to calling
+  /// Envelope::MinDistance per partition. The kNN seeding/pruning steps
+  /// rank partitions with this.
+  std::vector<double> PartitionDistances(const Point& p) const;
+
   /// Serialization to/from the master-file line format:
   /// id,block,cell_x1,cell_y1,cell_x2,cell_y2,mbr_x1,mbr_y1,mbr_x2,mbr_y2,
   /// records,bytes[,source_path]
@@ -49,8 +57,15 @@ class GlobalIndex {
                                        const std::vector<std::string>& lines);
 
  private:
+  void BuildMbrLanes();
+
   PartitionScheme scheme_ = PartitionScheme::kNone;
   std::vector<Partition> partitions_;
+  // Packed SoA lanes of the partition MBRs, in partition order: the
+  // filter/prune steps (range filter, kNN seeding, join pairing) test
+  // every partition with one batch MBR kernel call. Rebuilt whenever
+  // partitions_ is (re)assigned — only the constructor does.
+  std::vector<double> mbr_min_x_, mbr_min_y_, mbr_max_x_, mbr_max_y_;
 };
 
 /// Partition pairs (a_id, b_id) whose MBRs intersect — the global-join

@@ -1,0 +1,207 @@
+#include "index/packed_rtree.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "simd/mbr_kernels.h"
+
+namespace shadoop::index {
+namespace {
+
+struct KeyIdx {
+  double key;
+  uint32_t idx;
+};
+
+}  // namespace
+
+PackedRTree::PackedRTree(const std::vector<RTree::Entry>& entries,
+                         int leaf_capacity)
+    : capacity_(std::max(2, leaf_capacity)) {
+  const size_t n = entries.size();
+  if (n == 0) return;
+
+  // STR packing, mirroring RTree's bulk load move for move. Sorting
+  // (key, index) pairs instead of Entry structs yields the identical
+  // permutation: every comparator call sees the same key values in the
+  // same positions, and std::sort's moves depend only on those outcomes.
+  const size_t num_leaves = (n + capacity_ - 1) / capacity_;
+  const size_t num_slabs = static_cast<size_t>(
+      std::ceil(std::sqrt(static_cast<double>(num_leaves))));
+  const size_t slab_size =
+      ((num_leaves + num_slabs - 1) / num_slabs) * capacity_;
+
+  std::vector<KeyIdx> order(n);
+  for (size_t i = 0; i < n; ++i) {
+    const Envelope& box = entries[i].box;
+    // Same expression as Envelope::Center().x.
+    order[i] = {(box.min_x() + box.max_x()) / 2, static_cast<uint32_t>(i)};
+  }
+  std::sort(order.begin(), order.end(),
+            [](const KeyIdx& a, const KeyIdx& b) { return a.key < b.key; });
+  for (size_t s = 0; s < n; s += slab_size) {
+    const size_t e = std::min(n, s + slab_size);
+    for (size_t i = s; i < e; ++i) {
+      const Envelope& box = entries[order[i].idx].box;
+      order[i].key = (box.min_y() + box.max_y()) / 2;
+    }
+    std::sort(order.begin() + s, order.begin() + e,
+              [](const KeyIdx& a, const KeyIdx& b) { return a.key < b.key; });
+  }
+
+  entry_min_x_.resize(n);
+  entry_min_y_.resize(n);
+  entry_max_x_.resize(n);
+  entry_max_y_.resize(n);
+  entry_payload_.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    const RTree::Entry& entry = entries[order[i].idx];
+    entry_min_x_[i] = entry.box.min_x();
+    entry_min_y_[i] = entry.box.min_y();
+    entry_max_x_[i] = entry.box.max_x();
+    entry_max_y_[i] = entry.box.max_y();
+    entry_payload_[i] = entry.payload;
+  }
+  BuildNodes(n);
+}
+
+PackedRTree::PackedRTree(const RTree& tree) : capacity_(tree.capacity_) {
+  const size_t n = tree.entries_.size();
+  entry_min_x_.resize(n);
+  entry_min_y_.resize(n);
+  entry_max_x_.resize(n);
+  entry_max_y_.resize(n);
+  entry_payload_.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    const RTree::Entry& entry = tree.entries_[i];
+    entry_min_x_[i] = entry.box.min_x();
+    entry_min_y_[i] = entry.box.min_y();
+    entry_max_x_[i] = entry.box.max_x();
+    entry_max_y_[i] = entry.box.max_y();
+    entry_payload_[i] = entry.payload;
+  }
+  const size_t m = tree.nodes_.size();
+  node_min_x_.resize(m);
+  node_min_y_.resize(m);
+  node_max_x_.resize(m);
+  node_max_y_.resize(m);
+  node_meta_.resize(m);
+  for (size_t i = 0; i < m; ++i) {
+    node_min_x_[i] = tree.nodes_[i].box.min_x();
+    node_min_y_[i] = tree.nodes_[i].box.min_y();
+    node_max_x_[i] = tree.nodes_[i].box.max_x();
+    node_max_y_[i] = tree.nodes_[i].box.max_y();
+    node_meta_[i] = {tree.nodes_[i].first, tree.nodes_[i].last,
+                     tree.nodes_[i].is_leaf};
+  }
+  root_ = tree.root_;
+}
+
+void PackedRTree::BuildNodes(size_t n) {
+  auto push_node = [this](const Envelope& box, uint32_t first, uint32_t last,
+                          bool is_leaf) {
+    node_min_x_.push_back(box.min_x());
+    node_min_y_.push_back(box.min_y());
+    node_max_x_.push_back(box.max_x());
+    node_max_y_.push_back(box.max_y());
+    node_meta_.push_back({first, last, is_leaf});
+  };
+
+  std::vector<uint32_t> level;
+  for (size_t s = 0; s < n; s += capacity_) {
+    const size_t e = std::min(n, s + capacity_);
+    Envelope box;
+    for (size_t i = s; i < e; ++i) {
+      box.ExpandToInclude(Envelope(entry_min_x_[i], entry_min_y_[i],
+                                   entry_max_x_[i], entry_max_y_[i]));
+    }
+    level.push_back(static_cast<uint32_t>(node_meta_.size()));
+    push_node(box, static_cast<uint32_t>(s), static_cast<uint32_t>(e), true);
+  }
+  while (level.size() > 1) {
+    std::vector<uint32_t> next;
+    for (size_t s = 0; s < level.size(); s += capacity_) {
+      const size_t e = std::min(level.size(), s + capacity_);
+      Envelope box;
+      for (size_t i = s; i < e; ++i) {
+        const uint32_t c = level[i];
+        box.ExpandToInclude(Envelope(node_min_x_[c], node_min_y_[c],
+                                     node_max_x_[c], node_max_y_[c]));
+      }
+      next.push_back(static_cast<uint32_t>(node_meta_.size()));
+      push_node(box, level[s], level[e - 1] + 1, false);
+    }
+    level = std::move(next);
+  }
+  root_ = level.front();
+}
+
+Envelope PackedRTree::Bounds() const {
+  if (node_meta_.empty()) return Envelope();
+  return Envelope(node_min_x_[root_], node_min_y_[root_], node_max_x_[root_],
+                  node_max_y_[root_]);
+}
+
+size_t PackedRTree::Search(const Envelope& query,
+                           std::vector<uint32_t>* out) const {
+  if (node_meta_.empty() || !Bounds().Intersects(query)) return 0;
+  const simd::detail::KernelTable& kernels = simd::ActiveKernels();
+
+  // Scratch hit bitmap: one batch call covers one node's children, so
+  // `capacity_` bits suffice. Nodes wider than the stack buffer (unusual
+  // capacities) spill to a heap buffer once per search.
+  uint64_t stack_bits[4];
+  std::vector<uint64_t> heap_bits;
+  uint64_t* bits = stack_bits;
+  const size_t words = simd::BitmapWords(static_cast<size_t>(capacity_));
+  if (words > 4) {
+    heap_bits.resize(words);
+    bits = heap_bits.data();
+  }
+
+  size_t visited = 0;
+  std::vector<uint32_t> stack = {root_};
+  while (!stack.empty()) {
+    const NodeMeta node = node_meta_[stack.back()];
+    stack.pop_back();
+    ++visited;
+    const uint32_t first = node.first;
+    const size_t count = node.last - first;
+    const simd::BoxLanes lanes =
+        node.is_leaf
+            ? simd::BoxLanes{entry_min_x_.data() + first,
+                             entry_min_y_.data() + first,
+                             entry_max_x_.data() + first,
+                             entry_max_y_.data() + first}
+            : simd::BoxLanes{node_min_x_.data() + first,
+                             node_min_y_.data() + first,
+                             node_max_x_.data() + first,
+                             node_max_y_.data() + first};
+    const size_t hits =
+        kernels.intersect_box_bitmap(lanes, count, query.min_x(),
+                                     query.min_y(), query.max_x(),
+                                     query.max_y(), bits);
+    if (hits == 0) continue;
+    // Ascending bit order matches RTree's ascending child loop: pushed
+    // children pop in the same LIFO order, and leaf payloads append in
+    // the same sequence.
+    for (size_t w = 0; w < simd::BitmapWords(count); ++w) {
+      uint64_t word = bits[w];
+      while (word != 0) {
+        const uint32_t offset =
+            first + static_cast<uint32_t>(w * 64) +
+            static_cast<uint32_t>(std::countr_zero(word));
+        word &= word - 1;
+        if (node.is_leaf) {
+          out->push_back(entry_payload_[offset]);
+        } else {
+          stack.push_back(offset);
+        }
+      }
+    }
+  }
+  return visited;
+}
+
+}  // namespace shadoop::index

@@ -65,20 +65,26 @@ Result<std::vector<Envelope>> DecodeLocalIndexHeader(
     return Status::ParseError("not a local-index header");
   }
   std::vector<Envelope> envelopes;
-  for (std::string_view field :
-       SplitString(record.substr(kPrefix.size()), '|')) {
+  FieldCursor entries(record.substr(kPrefix.size()), '|');
+  std::string_view field;
+  while (entries.Next(&field)) {
     if (field.empty()) continue;
     // Slots for records that failed to parse at build time are stored as
     // the empty envelope ("inf,inf,-inf,-inf"), which the strict
-    // rectangle parser rejects — decode the coordinates directly.
-    auto coords = SplitString(field, ',');
-    if (coords.size() != 4) {
+    // rectangle parser rejects — decode the coordinates directly. Fields
+    // are scanned in place: this decode runs once per partition per query,
+    // over every record's envelope.
+    FieldCursor coords(field, ',');
+    std::string_view c[4];
+    std::string_view extra;
+    if (!coords.Next(&c[0]) || !coords.Next(&c[1]) || !coords.Next(&c[2]) ||
+        !coords.Next(&c[3]) || coords.Next(&extra)) {
       return Status::ParseError("bad local-index entry: '" +
                                 std::string(field) + "'");
     }
     double v[4];
     for (int i = 0; i < 4; ++i) {
-      SHADOOP_ASSIGN_OR_RETURN(v[i], ParseDouble(coords[i]));
+      SHADOOP_ASSIGN_OR_RETURN(v[i], ParseDouble(c[i]));
     }
     envelopes.push_back(v[2] < v[0] || v[3] < v[1]
                             ? Envelope()

@@ -17,6 +17,8 @@ class FaultInjector;
 
 namespace shadoop::mapreduce {
 
+class ArtifactCache;
+
 /// One intermediate key-value pair. Keys and values are text, in the
 /// spirit of Hadoop streaming: every operation defines its own record
 /// encodings on top (typically CSV or WKT, see geometry/wkt.h).
@@ -99,6 +101,21 @@ class MapContext {
   /// Marks the task (and hence the job) failed; record processing stops
   /// after the current record. For data errors the job must not ignore.
   virtual void Fail(Status status) = 0;
+
+  /// Runner-wide cache of immutable per-block artifacts (see
+  /// artifact_cache.h), or null when caching is unavailable — fault
+  /// injection active, or a context outside the job runner. Hits must
+  /// only save wall-clock time, never change simulated charges, output
+  /// or counters.
+  virtual ArtifactCache* artifact_cache() { return nullptr; }
+
+  /// Globally unique immutable id of the split's `ordinal`-th block
+  /// (hdfs::BlockId), or 0 when unknown. Safe as a cache key: rewritten
+  /// files get fresh ids, so a stale artifact can never alias new bytes.
+  virtual uint64_t block_cache_id(size_t ordinal) const {
+    (void)ordinal;
+    return 0;
+  }
 };
 
 /// Context handed to reduce tasks.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <atomic>
+#include <unordered_map>
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
@@ -63,6 +64,16 @@ class MapContextImpl : public MapContext {
 
   void set_partitioner(const Partitioner& p) { partition_ = p; }
 
+  ArtifactCache* artifact_cache() override { return cache_; }
+  uint64_t block_cache_id(size_t ordinal) const override {
+    return ordinal < block_ids_.size() ? block_ids_[ordinal] : 0;
+  }
+  void set_artifact_cache(ArtifactCache* cache,
+                          std::vector<uint64_t> block_ids) {
+    cache_ = cache;
+    block_ids_ = std::move(block_ids);
+  }
+
   std::string_view KeyOf(const EmitSlice& s) const {
     return std::string_view(buffer_).substr(s.offset, s.key_len);
   }
@@ -72,6 +83,8 @@ class MapContextImpl : public MapContext {
 
   const InputSplit& split_;
   Partitioner partition_;
+  ArtifactCache* cache_ = nullptr;
+  std::vector<uint64_t> block_ids_;  // Per split ordinal; 0 = unknown.
   std::string buffer_;  // Backing bytes of every emitted pair.
   std::vector<std::vector<EmitSlice>> emitted_;  // One bucket per reducer.
   std::vector<std::string> output_;              // Map-side final output.
@@ -304,6 +317,36 @@ JobResult JobRunner::RunAdmitted(const JobConfig& job, int lanes,
   std::vector<std::array<std::unique_ptr<MapContextImpl>, 2>> map_slots(
       num_maps);
 
+  // Artifact caching is offered only on fully fault-free runs: any active
+  // injector (scheduler faults, legacy per-call hook, or HDFS read
+  // faults) could otherwise be masked by an artifact parsed before the
+  // fault fired. Block ids are resolved once per job from the namenode.
+  const bool cache_enabled = injector == nullptr && fs_injector == nullptr &&
+                             !job.fault_injector;
+  std::vector<std::vector<uint64_t>> split_block_ids;
+  if (cache_enabled) {
+    split_block_ids.resize(num_maps);
+    std::unordered_map<std::string, hdfs::FileMeta> metas;
+    for (size_t i = 0; i < num_maps; ++i) {
+      for (const BlockRef& block : job.splits[i].blocks) {
+        auto it = metas.find(block.path);
+        // Point lookup — no order observed.
+        if (it == metas.end()) {  // lint:allow(unordered-iteration)
+          auto meta = fs_->GetFileMeta(block.path);
+          it = metas.emplace(
+                        block.path,
+                        meta.ok() ? std::move(meta).value() : hdfs::FileMeta())
+                   .first;
+        }
+        const hdfs::FileMeta& meta = it->second;
+        split_block_ids[i].push_back(
+            block.block_index < meta.blocks.size()
+                ? meta.blocks[block.block_index].id
+                : 0);
+      }
+    }
+  }
+
   TaskScheduler map_sched(
       SchedulerOptions(job, cluster_, fault::TaskKind::kMap,
                        max_task_attempts_override_, gate),
@@ -322,6 +365,9 @@ JobResult JobRunner::RunAdmitted(const JobConfig& job, int lanes,
         }
         auto ctx = std::make_unique<MapContextImpl>(split, num_reducers);
         ctx->set_partitioner(job.partitioner);
+        if (cache_enabled) {
+          ctx->set_artifact_cache(&artifact_cache_, split_block_ids[i]);
+        }
         std::unique_ptr<Mapper> mapper = job.mapper();
         mapper->BeginSplit(*ctx);
         // The arena pins every block of the attempt, so record views stay

@@ -5,6 +5,7 @@
 
 #include "hdfs/file_system.h"
 #include "mapreduce/admission_controller.h"
+#include "mapreduce/artifact_cache.h"
 #include "mapreduce/cluster.h"
 #include "mapreduce/job.h"
 
@@ -68,6 +69,11 @@ class JobRunner {
   /// running when the tenant's quota is zero.
   JobResult Run(const JobConfig& job);
 
+  /// The runner's per-block artifact cache, handed to map tasks through
+  /// MapContext::artifact_cache() — except while any fault injector is
+  /// active, when tasks see null so injected faults are never masked.
+  ArtifactCache* artifact_cache() { return &artifact_cache_; }
+
  private:
   /// The admitted run: `lanes` caps task parallelism (real threads and
   /// the simulated makespan alike) and `gate` brackets every attempt.
@@ -75,6 +81,7 @@ class JobRunner {
 
   hdfs::FileSystem* fs_;
   ClusterConfig cluster_;
+  ArtifactCache artifact_cache_;
   fault::FaultInjector* fault_injector_ = nullptr;
   AdmissionController* admission_ = nullptr;
   std::string tenant_ = "default";

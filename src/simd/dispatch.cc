@@ -1,0 +1,79 @@
+#include "simd/dispatch.h"
+
+#include <atomic>
+
+#include "simd/kernels_internal.h"
+
+namespace shadoop::simd {
+namespace detail {
+
+bool CpuSupports(Target target) {
+  switch (target) {
+    case Target::kScalar:
+      return true;
+    case Target::kAvx2:
+#if SHADOOP_SIMD_HAVE_AVX2
+      return __builtin_cpu_supports("avx2") != 0;
+#else
+      return false;
+#endif
+    case Target::kNeon:
+      // NEON is baseline on aarch64; compiled-in implies runnable.
+      return SHADOOP_SIMD_HAVE_NEON != 0;
+  }
+  return false;
+}
+
+}  // namespace detail
+
+namespace {
+
+bool TargetUsable(Target target) {
+  const detail::KernelTable& table = detail::TableFor(target);
+  return table.intersect_box_bitmap != nullptr &&
+         detail::CpuSupports(target);
+}
+
+Target DetectBestTarget() {
+  if (TargetUsable(Target::kAvx2)) return Target::kAvx2;
+  if (TargetUsable(Target::kNeon)) return Target::kNeon;
+  return Target::kScalar;
+}
+
+std::atomic<Target>& ActiveSlot() {
+  static std::atomic<Target> slot{DetectBestTarget()};
+  return slot;
+}
+
+}  // namespace
+
+const char* TargetName(Target target) {
+  switch (target) {
+    case Target::kScalar:
+      return "scalar";
+    case Target::kAvx2:
+      return "avx2";
+    case Target::kNeon:
+      return "neon";
+  }
+  return "?";
+}
+
+std::vector<Target> SupportedTargets() {
+  std::vector<Target> targets = {Target::kScalar};
+  if (TargetUsable(Target::kAvx2)) targets.push_back(Target::kAvx2);
+  if (TargetUsable(Target::kNeon)) targets.push_back(Target::kNeon);
+  return targets;
+}
+
+Target ActiveTarget() {
+  return ActiveSlot().load(std::memory_order_relaxed);
+}
+
+bool SetActiveTarget(Target target) {
+  if (!TargetUsable(target)) return false;
+  ActiveSlot().store(target, std::memory_order_relaxed);
+  return true;
+}
+
+}  // namespace shadoop::simd

@@ -1,0 +1,36 @@
+#ifndef SHADOOP_SIMD_KERNELS_INTERNAL_H_
+#define SHADOOP_SIMD_KERNELS_INTERNAL_H_
+
+#include "simd/mbr_kernels.h"
+
+// Vector targets compile only when the build enables SIMD
+// (-DSPATIAL_SIMD=ON, the default) and the architecture matches; the
+// scalar-forced CI leg builds with SPATIAL_SIMD=OFF and gets a binary
+// whose only table is kScalar.
+#if defined(SHADOOP_SIMD_ENABLED) && defined(__x86_64__) && \
+    defined(__GNUC__)
+#define SHADOOP_SIMD_HAVE_AVX2 1
+#else
+#define SHADOOP_SIMD_HAVE_AVX2 0
+#endif
+
+#if defined(SHADOOP_SIMD_ENABLED) && defined(__aarch64__)
+#define SHADOOP_SIMD_HAVE_NEON 1
+#else
+#define SHADOOP_SIMD_HAVE_NEON 0
+#endif
+
+namespace shadoop::simd::detail {
+
+extern const KernelTable kScalarTable;
+
+/// nullptr when the target is not compiled into this binary.
+const KernelTable* Avx2TableOrNull();
+const KernelTable* NeonTableOrNull();
+
+/// True when the running CPU can execute the target's instructions.
+bool CpuSupports(Target target);
+
+}  // namespace shadoop::simd::detail
+
+#endif  // SHADOOP_SIMD_KERNELS_INTERNAL_H_

@@ -45,8 +45,8 @@ TEST(LintRegistry, ExposesEveryRule) {
   }
   for (const char* expected :
        {"banned-clock", "banned-random", "unordered-iteration", "naked-mutex",
-        "iostream-include", "banned-float-accum",
-        "unstable-sort-before-emit"}) {
+        "iostream-include", "banned-float-accum", "unstable-sort-before-emit",
+        "size-dependent-seed"}) {
     EXPECT_NE(std::find(ids.begin(), ids.end(), expected), ids.end())
         << "missing rule " << expected;
   }
@@ -267,6 +267,54 @@ TEST(UnstableSortBeforeEmit, AllowEscapeSuppresses) {
       Lint("std::sort(rows.begin(), rows.end(), "
            "TotalOrder);  // lint:allow(unstable-sort-before-emit)\n"
            "for (const Row& row : rows) ctx.Emit(row.key, row.value);\n")
+          .empty());
+}
+
+// ---------------------------------------------------------------------------
+// size-dependent-seed
+
+TEST(SizeDependentSeed, FiresOnRandomSeededWithSize) {
+  std::vector<Finding> findings =
+      Lint("shadoop::Random rng(entries.size());\n");
+  ASSERT_TRUE(HasRule(findings, "size-dependent-seed"));
+  EXPECT_EQ(findings[0].line, 1);
+}
+
+TEST(SizeDependentSeed, FiresOnSeedVariablesAndArrowCalls) {
+  EXPECT_TRUE(HasRule(Lint("const uint64_t seed = boxes.size();\n"),
+                      "size-dependent-seed"));
+  EXPECT_TRUE(HasRule(Lint("hash_seed ^= records->size();\n"),
+                      "size-dependent-seed"));
+  EXPECT_TRUE(HasRule(Lint("uint64_t kSeedBase = 17 + parts.size() * 31;\n"),
+                      "size-dependent-seed"));
+}
+
+TEST(SizeDependentSeed, FiresAcrossAWrappedSeedExpression) {
+  std::vector<Finding> findings = Lint("const uint64_t seed =\n"
+                                       "    partitions.size();\n");
+  ASSERT_TRUE(HasRule(findings, "size-dependent-seed"));
+  EXPECT_EQ(findings[0].line, 2);
+}
+
+TEST(SizeDependentSeed, QuietOnConstantSeedsAndPlainSizeUse) {
+  // A constant-seeded Random next to ordinary .size() arithmetic is the
+  // blessed pattern; neither line alone is a seed derivation.
+  EXPECT_TRUE(Lint("shadoop::Random rng(0x5110794u);\n"
+                   "for (size_t i = 0; i < entries.size(); ++i) Use(i);\n")
+                  .empty());
+  EXPECT_TRUE(Lint("const size_t n = boxes.size();\n"
+                   "out.reserve(items.size());\n")
+                  .empty());
+  // `sizeof` and free size() lookalikes are not member .size() calls.
+  EXPECT_TRUE(Lint("uint64_t seed = sizeof(Header);\n"
+                   "uint64_t seed2 = size(7);\n")
+                  .empty());
+}
+
+TEST(SizeDependentSeed, AllowEscapeSuppresses) {
+  EXPECT_TRUE(
+      Lint("shadoop::Random rng(\n"
+           "    entries.size());  // lint:allow(size-dependent-seed)\n")
           .empty());
 }
 

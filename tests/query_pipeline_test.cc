@@ -94,8 +94,8 @@ class MemoMapper : public PartitionMapper {
  protected:
   void Process(const SplitExtent& extent, PartitionView& view,
                MapContext& ctx) override {
-    const index::RTree& first = view.LocalIndex(ctx);
-    const index::RTree& second = view.LocalIndex(ctx);
+    const index::PackedRTree& first = view.LocalIndex(ctx);
+    const index::PackedRTree& second = view.LocalIndex(ctx);
     ctx.WriteOutput(&first == &second ? "memoized" : "rebuilt");
     const auto hits = view.Search(extent.mbr, ctx);
     ctx.WriteOutput("hits=" + std::to_string(hits.size()) +

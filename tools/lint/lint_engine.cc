@@ -388,6 +388,69 @@ void UnstableSortBeforeEmitRule(const FileView& view, const RuleInfo& rule,
   }
 }
 
+/// Positions of member `.size()` / `->size()` calls on a line.
+std::vector<size_t> SizeCallHits(const std::string& line) {
+  std::vector<size_t> hits;
+  for (size_t pos : TokenHits(line, "size")) {
+    if (pos == 0) continue;
+    const bool member =
+        line[pos - 1] == '.' ||
+        (line[pos - 1] == '>' && pos > 1 && line[pos - 2] == '-');
+    if (!member) continue;
+    size_t i = pos + 4;
+    while (i < line.size() && line[i] == ' ') ++i;
+    if (i < line.size() && line[i] == '(') hits.push_back(pos);
+  }
+  return hits;
+}
+
+/// True when the line mentions an identifier whose name contains "seed"
+/// (any case): `seed`, `kSeed`, `hash_seed`, `SeedFor`, ...
+bool MentionsSeedIdentifier(const std::string& line) {
+  for (size_t i = 0; i < line.size(); ++i) {
+    if (IsIdentChar(line[i]) && (i == 0 || !IsIdentChar(line[i - 1]))) {
+      size_t end = i;
+      while (end < line.size() && IsIdentChar(line[end])) ++end;
+      std::string ident = line.substr(i, end - i);
+      std::transform(ident.begin(), ident.end(), ident.begin(),
+                     [](unsigned char c) { return std::tolower(c); });
+      if (ident.find("seed") != std::string::npos) return true;
+      i = end;
+    }
+  }
+  return false;
+}
+
+void SizeDependentSeedRule(const FileView& view, const RuleInfo& rule,
+                           std::vector<Finding>* findings) {
+  for (size_t i = 0; i < view.code.size(); ++i) {
+    const std::string& line = view.code[i];
+    if (SizeCallHits(line).empty()) continue;
+    // A `.size()` feeding a Random construction or any seed-named value
+    // collapses distinct inputs of equal cardinality onto one stream and
+    // silently reseeds whenever the data grows. One line of lookback
+    // covers a seed expression wrapped before the `.size()` call — but
+    // only when the previous line is visibly mid-expression (ends in an
+    // opener or operator), so a complete `Random rng(kSeed);` statement
+    // followed by an ordinary `.size()` loop stays quiet.
+    bool prev_opens_seed = false;
+    if (i > 0 && (!TokenHits(view.code[i - 1], "Random").empty() ||
+                  MentionsSeedIdentifier(view.code[i - 1]))) {
+      const std::string& prev = view.code[i - 1];
+      size_t last = prev.find_last_not_of(' ');
+      if (last != std::string::npos) {
+        const char c = prev[last];
+        prev_opens_seed = c == '(' || c == '=' || c == ',' || c == '+' ||
+                          c == '^' || c == '&' || c == '|' || c == '*';
+      }
+    }
+    if (!TokenHits(line, "Random").empty() || MentionsSeedIdentifier(line) ||
+        prev_opens_seed) {
+      AddFinding(view, i, rule, findings);
+    }
+  }
+}
+
 const std::vector<RuleImpl>& RuleRegistry() {
   static const std::vector<RuleImpl>* kRules = new std::vector<RuleImpl>{
       {{"banned-clock",
@@ -429,6 +492,13 @@ const std::vector<RuleImpl>& RuleRegistry() {
         "Emit/WriteOutput"},
        {},
        &UnstableSortBeforeEmitRule},
+      {{"size-dependent-seed",
+        ".size() feeding a Random seed; a size-derived seed gives equal-"
+        "cardinality inputs the same stream and silently reseeds when "
+        "the data grows — seed from an explicit constant or a stable "
+        "identity"},
+       {},
+       &SizeDependentSeedRule},
   };
   return *kRules;
 }
