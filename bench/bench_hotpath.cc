@@ -10,7 +10,11 @@
 // speculative re-execution. The incremental-ingest scenario times
 // catalog appends (routing + copy-on-write rewrites + skew splits)
 // against a full bulk rebuild of the same records, and fails if the
-// appended version's query rows diverge from the rebuilt index.
+// appended version's query rows diverge from the rebuilt index. The
+// server-saturation scenario drives concurrent tenant sessions through
+// the query server and reports simulated p50/p99 request latencies,
+// failing unless they are identical across reruns and admission seeds
+// and the concurrent rows match a single-session sequential run.
 //
 // Usage:
 //   bench_hotpath --label <name> [--out results.json] [--reps N]
@@ -18,7 +22,7 @@
 //   bench_hotpath --merge baseline.json current.json
 //
 // The merge mode pairs benchmarks by name, computes speedups, prints the
-// combined report (scripts/bench.sh redirects it to BENCH_pr6.json), and
+// combined report (scripts/bench.sh redirects it to BENCH_pr8.json), and
 // exits non-zero if an invariant failed: geometry parses exceeding the
 // record-visit bound, or fault-injected output diverging from the clean
 // run. Benchmarks with no baseline row (the fault scenario, against
@@ -27,7 +31,9 @@
 // older trees (the baseline build in scripts/bench.sh): parse counters
 // report -1 there, and the fault scenario drops out via __has_include.
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -55,6 +61,11 @@
 #define SHADOOP_HAS_CATALOG 1
 #endif
 
+#if __has_include("server/query_server.h")
+#include "server/query_server.h"
+#define SHADOOP_HAS_SERVER 1
+#endif
+
 namespace shadoop {
 namespace {
 
@@ -78,6 +89,8 @@ struct BenchResult {
   int64_t parses = -1;          // Geometry parses (-1: not measured).
   int64_t checksum = 0;         // Result size, guards against dead code.
   double overhead_ms = -1;      // Simulated recovery overhead (-1: n/a).
+  double p50_ms = -1;           // Simulated request latency p50 (-1: n/a).
+  double p99_ms = -1;           // Simulated request latency p99 (-1: n/a).
 };
 
 double MsSince(std::chrono::steady_clock::time_point start) {
@@ -420,6 +433,187 @@ BenchResult BenchIncrementalIngest(int reps) {
 }
 #endif  // SHADOOP_HAS_CATALOG
 
+#ifdef SHADOOP_HAS_SERVER
+constexpr size_t kServerPoints = 100000;
+constexpr int kServerSessions = 5;
+
+uint64_t Fnv64(const std::string& text, uint64_t h) {
+  for (const char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+// Nearest-rank percentile over an already-sorted latency vector.
+double Percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return -1;
+  const size_t rank = static_cast<size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(sorted.size())));
+  return sorted[rank == 0 ? 0 : rank - 1];
+}
+
+// The mixed template stream of one tenant: two per-tenant range windows
+// plus shared COUNT/KNN templates (repeated across and within streams,
+// so the shared result cache sees real concurrent traffic).
+std::vector<std::vector<std::string>> SaturationScripts() {
+  std::vector<std::vector<std::string>> streams;
+  for (int i = 0; i < kServerSessions; ++i) {
+    const std::string x0 = std::to_string(120000 * i);
+    const std::string x1 = std::to_string(120000 * i + 200000);
+    streams.push_back({
+        "a = RANGE pts RECTANGLE(" + x0 + ", 0, " + x1 + ", 400000); DUMP a;",
+        "b = COUNT pts RECTANGLE(100000, 100000, 800000, 800000); DUMP b;",
+        "c = KNN pts POINT(500000, 400000) K 8; DUMP c;",
+        "d = COUNT pts RECTANGLE(100000, 100000, 800000, 800000); DUMP d;",
+        "e = RANGE pts RECTANGLE(0, " + x0 + ", 350000, " +
+            std::to_string(120000 * i + 250000) + "); DUMP e;",
+        "f = KNN pts POINT(250000, 650000) K 4; DUMP f;",
+    });
+  }
+  return streams;
+}
+
+struct SaturationRun {
+  double wall_ms = 0;     // Real time of the concurrent phase.
+  double p50_ms = -1;     // Simulated per-request latency percentiles.
+  double p99_ms = -1;
+  uint64_t checksum = 0;  // FNV over every request's rows, stream order.
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+};
+
+// One saturation round: a fresh server over the shared filesystem, 5
+// tenants x 5 slots on the 25-slot cluster (equal, remainder-free lane
+// shares -> seed-invariant admission), each tenant a session driving
+// its template stream concurrently.
+SaturationRun RunServerSaturation(hdfs::FileSystem* fs, uint64_t seed) {
+  server::ServerOptions options;
+  options.cluster = Cluster::ClusterConfig();
+  options.admission_seed = seed;
+  server::QueryServer qs(fs, options);
+  SHADOOP_CHECK_OK(qs.AttachDataset("pts", "/pts.idx"));
+
+  const std::vector<std::vector<std::string>> scripts = SaturationScripts();
+  std::vector<server::SessionStream> streams;
+  for (int i = 0; i < kServerSessions; ++i) {
+    const server::SessionId id =
+        qs.OpenSession("tenant" + std::to_string(i), 5).ValueOrDie();
+    streams.push_back(server::SessionStream{id, scripts[i]});
+  }
+
+  SaturationRun run;
+  const auto start = std::chrono::steady_clock::now();
+  const auto results = qs.ExecuteConcurrent(streams).ValueOrDie();
+  run.wall_ms = MsSince(start);
+
+  std::vector<double> latencies;
+  uint64_t h = 1469598103934665603ULL;
+  for (const auto& stream : results) {
+    for (const server::RequestResult& request : stream) {
+      latencies.push_back(request.sim_latency_ms);
+      for (const std::string& row : request.rows) h = Fnv64(row + "\n", h);
+      h = Fnv64("--\n", h);
+    }
+  }
+  std::sort(latencies.begin(), latencies.end());
+  run.p50_ms = Percentile(latencies, 50);
+  run.p99_ms = Percentile(latencies, 99);
+  run.checksum = h;
+  run.cache_hits = qs.result_cache().hits();
+  run.cache_misses = qs.result_cache().misses();
+  return run;
+}
+
+// Query-server saturation: N concurrent tenant sessions over one shared
+// indexed dataset, mixed RANGE/COUNT/KNN templates, shared result
+// cache, admission lanes live. wall_ms times the concurrent phase
+// (best-of-reps); p50/p99 are *simulated* request latencies and must be
+// bit-identical across repetitions and admission seeds — the scenario
+// exits non-zero otherwise, and also if the concurrent row checksum
+// diverges from a single-session sequential execution of the same
+// query mix.
+BenchResult BenchServerSaturation(int reps) {
+  BenchResult result;
+  result.name = "server_saturation";
+  Cluster cluster;
+  workload::PointGenOptions gen;
+  gen.count = kServerPoints;
+  gen.seed = 51;
+  gen.distribution = workload::Distribution::kUniform;
+  SHADOOP_CHECK_OK(workload::WritePointFile(&cluster.fs, "/pts", gen));
+  index::IndexBuilder builder(&cluster.runner);
+  index::IndexBuildOptions options;
+  options.scheme = index::PartitionScheme::kStr;
+  options.shape = index::ShapeType::kPoint;
+  options.build_local_indexes = true;
+  SHADOOP_CHECK_OK(builder.Build("/pts", "/pts.idx", options).status());
+
+  // Repetitions double as the rerun-determinism check; extra seeds
+  // check that admission tie-break seeding cannot leak into results.
+  SaturationRun base;
+  result.wall_ms = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < reps; ++rep) {
+    const SaturationRun run = RunServerSaturation(&cluster.fs, 0);
+    if (rep == 0) {
+      base = run;
+    } else if (run.p50_ms != base.p50_ms || run.p99_ms != base.p99_ms ||
+               run.checksum != base.checksum) {
+      std::cerr << "FAIL: server_saturation rerun diverged (p50 "
+                << run.p50_ms << " vs " << base.p50_ms << ", p99 "
+                << run.p99_ms << " vs " << base.p99_ms << ")\n";
+      std::exit(1);
+    }
+    result.wall_ms = std::min(result.wall_ms, run.wall_ms);
+  }
+  for (uint64_t seed : {uint64_t{1}, uint64_t{2}}) {
+    const SaturationRun run = RunServerSaturation(&cluster.fs, seed);
+    if (run.p50_ms != base.p50_ms || run.p99_ms != base.p99_ms ||
+        run.checksum != base.checksum) {
+      std::cerr << "FAIL: server_saturation diverged under admission seed "
+                << seed << "\n";
+      std::exit(1);
+    }
+  }
+
+  // Single-session yardstick: one session executes every stream's
+  // requests in stream order. The concurrent checksum must match byte
+  // for byte — concurrency must be invisible in results.
+  server::ServerOptions seq_options;
+  seq_options.cluster = Cluster::ClusterConfig();
+  server::QueryServer sequential(&cluster.fs, seq_options);
+  SHADOOP_CHECK_OK(sequential.AttachDataset("pts", "/pts.idx"));
+  const server::SessionId session = sequential.OpenSession().ValueOrDie();
+  uint64_t h = 1469598103934665603ULL;
+  for (const std::vector<std::string>& stream : SaturationScripts()) {
+    for (const std::string& script : stream) {
+      const server::RequestResult request =
+          sequential.Execute(session, script).ValueOrDie();
+      for (const std::string& row : request.rows) h = Fnv64(row + "\n", h);
+      h = Fnv64("--\n", h);
+    }
+  }
+  if (h != base.checksum) {
+    std::cerr << "FAIL: concurrent rows diverge from single-session "
+                 "sequential execution\n";
+    std::exit(1);
+  }
+
+  result.p50_ms = base.p50_ms;
+  result.p99_ms = base.p99_ms;
+  // 53-bit mask: the merge reader parses numbers as doubles, so a wider
+  // checksum would round and compare unequal between raw and merged
+  // reports.
+  result.checksum = static_cast<int64_t>(base.checksum & 0x1fffffffffffffULL);
+  std::cerr << "server_saturation: result_cache hits=" << base.cache_hits
+            << " misses=" << base.cache_misses << "\n";
+  // Visit bound: every request may scan the whole dataset.
+  result.records = static_cast<int64_t>(kServerPoints) *
+                   static_cast<int64_t>(kServerSessions) * 6;
+  return result;
+}
+#endif  // SHADOOP_HAS_SERVER
+
 // ---------------------------------------------------------------------
 // Ad-hoc JSON (one benchmark object per line, so the merge mode can
 // read it back with plain string scanning — no JSON library needed).
@@ -433,7 +627,8 @@ std::string ToJson(const std::string& label,
     out << "    {\"name\": \"" << r.name << "\", \"wall_ms\": "
         << r.wall_ms << ", \"records\": " << r.records
         << ", \"parses\": " << r.parses << ", \"checksum\": " << r.checksum
-        << ", \"overhead_ms\": " << r.overhead_ms << "}"
+        << ", \"overhead_ms\": " << r.overhead_ms
+        << ", \"p50_ms\": " << r.p50_ms << ", \"p99_ms\": " << r.p99_ms << "}"
         << (i + 1 < results.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
@@ -491,6 +686,10 @@ bool LoadRun(const std::string& path, ParsedRun* run) {
       r.checksum = static_cast<int64_t>(value);
     }
     if (ExtractNumber(line, "overhead_ms", &value)) r.overhead_ms = value;
+    // Latency percentiles only exist on server-era reports; older
+    // baselines simply keep the -1 defaults.
+    if (ExtractNumber(line, "p50_ms", &value)) r.p50_ms = value;
+    if (ExtractNumber(line, "p99_ms", &value)) r.p99_ms = value;
     run->benchmarks.push_back(std::move(r));
   }
   return !run->benchmarks.empty();
@@ -534,7 +733,9 @@ int Merge(const std::string& baseline_path, const std::string& current_path) {
          << base_parses << ", \"parse_once_ok\": "
          << (parses_ok ? "true" : "false") << ", \"checksum\": "
          << cur.checksum << ", \"baseline_checksum\": " << base_checksum
-         << ", \"overhead_ms\": " << cur.overhead_ms << "}"
+         << ", \"overhead_ms\": " << cur.overhead_ms
+         << ", \"p50_ms\": " << cur.p50_ms << ", \"p99_ms\": " << cur.p99_ms
+         << "}"
          << (i + 1 < current.benchmarks.size() ? "," : "") << "\n";
   }
   std::cout << "{\n  \"bench\": \"zero-copy-hotpath\",\n"
@@ -564,6 +765,9 @@ int RunAll(const std::string& label, const std::string& out_path, int reps,
 #endif
 #ifdef SHADOOP_HAS_CATALOG
   benches.push_back({"incremental_ingest", &BenchIncrementalIngest});
+#endif
+#ifdef SHADOOP_HAS_SERVER
+  benches.push_back({"server_saturation", &BenchServerSaturation});
 #endif
   for (const NamedBench& bench : benches) {
     if (!only.empty() && only != bench.first) continue;

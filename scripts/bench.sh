@@ -3,12 +3,14 @@
 # revision. Builds bench_hotpath in Release mode twice — once in this
 # tree, once in a detached worktree of the baseline ref (default:
 # HEAD~1) with the same harness source copied in — runs both with
-# identical fixed seeds, and merges the two reports into BENCH_pr7.json.
+# identical fixed seeds, and merges the two reports into BENCH_pr8.json.
 # Besides the zero-copy benchmarks, the current tree also runs the
-# fault-recovery scenario (5% task failures + stragglers) and the
-# incremental-ingest scenario (catalog appends vs a full rebuild);
-# baselines that predate the fault or catalog subsystems simply skip
-# them (the merge emits those rows with baseline -1).
+# fault-recovery scenario (5% task failures + stragglers), the
+# incremental-ingest scenario (catalog appends vs a full rebuild), and
+# the server-saturation scenario (concurrent tenant sessions through
+# the query server, reporting simulated p50/p99 request latencies);
+# baselines that predate the fault, catalog or server subsystems simply
+# skip them (the merge emits those rows with baseline -1).
 #
 # Fails if the parse-once invariant is violated (geometry parses exceed
 # the record-visit bound of any benchmark in the current tree) or if the
@@ -21,7 +23,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 BASELINE_REF="${1:-HEAD~1}"
 REPS="${REPS:-3}"
-OUT="${OUT:-BENCH_pr7.json}"
+OUT="${OUT:-BENCH_pr8.json}"
 BASELINE_DIR=".bench-baseline"
 
 echo "== building current tree (Release) =="

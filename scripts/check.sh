@@ -62,7 +62,7 @@ TSAN_FLAGS="-fsanitize=thread -fno-omit-frame-pointer"
 #     accounting under concurrent tenants
 #   - catalog_test: snapshot reads racing concurrent catalog appends
 TSAN_SUITES=(mapreduce_test zero_copy_test fault_test robustness_test
-             admission_test catalog_test)
+             admission_test catalog_test server_test)
 
 asan_phase() {
   cmake -B "${BUILD_DIR}" -S . \

@@ -1,0 +1,74 @@
+#include "core/query_normalizer.h"
+
+namespace shadoop::core {
+namespace {
+
+bool IsSpace(char c) {
+  return c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == '\f' ||
+         c == '\v';
+}
+
+// Punctuation that never needs surrounding whitespace in Pigeon: dropping
+// the spaces around these cannot merge two identifier/number tokens.
+bool IsTightPunct(char c) {
+  return c == '(' || c == ')' || c == ',' || c == '=' || c == ';';
+}
+
+}  // namespace
+
+std::string NormalizeQueryText(std::string_view statement) {
+  std::string out;
+  out.reserve(statement.size());
+  bool pending_space = false;  // a whitespace run waiting to be emitted
+  size_t i = 0;
+  const size_t n = statement.size();
+  while (i < n) {
+    const char c = statement[i];
+    if (c == '-' && i + 1 < n && statement[i + 1] == '-') {
+      // Comment: skip to end of line; the newline joins the pending run.
+      while (i < n && statement[i] != '\n') ++i;
+      pending_space = true;
+      continue;
+    }
+    if (IsSpace(c)) {
+      pending_space = true;
+      ++i;
+      continue;
+    }
+    if (c == '\'') {
+      // Quoted string: copy byte-for-byte, including the quotes. Pigeon
+      // strings have no escape sequences; the literal ends at the next
+      // quote (or end of input for an unterminated literal).
+      if (pending_space && !out.empty() && !IsTightPunct(out.back())) {
+        out.push_back(' ');
+      }
+      pending_space = false;
+      out.push_back(c);
+      ++i;
+      while (i < n) {
+        out.push_back(statement[i]);
+        if (statement[i] == '\'') {
+          ++i;
+          break;
+        }
+        ++i;
+      }
+      continue;
+    }
+    if (IsTightPunct(c)) {
+      pending_space = false;  // no space before tight punctuation
+      out.push_back(c);
+      ++i;
+      continue;
+    }
+    if (pending_space && !out.empty() && !IsTightPunct(out.back())) {
+      out.push_back(' ');
+    }
+    pending_space = false;
+    out.push_back(c);
+    ++i;
+  }
+  return out;
+}
+
+}  // namespace shadoop::core

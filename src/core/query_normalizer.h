@@ -1,0 +1,31 @@
+#ifndef SHADOOP_CORE_QUERY_NORMALIZER_H_
+#define SHADOOP_CORE_QUERY_NORMALIZER_H_
+
+#include <string>
+#include <string_view>
+
+namespace shadoop::core {
+
+/// Canonicalizes one query statement's text for use in cache keys
+/// (DESIGN.md §14): the server's result/plan cache must treat two
+/// spellings of the same statement as one entry, and must never let
+/// formatting noise (comments, line breaks, indentation) fragment the
+/// cache.
+///
+/// The normalization is purely lexical and deterministic:
+///   - "--" comments are stripped to end of line;
+///   - whitespace runs (spaces, tabs, newlines) collapse to one space;
+///   - spaces disappear around punctuation ((), ',', '=', ';');
+///   - single-quoted strings pass through byte-for-byte (paths and
+///     tenant names are case- and space-sensitive);
+///   - everything else keeps its case — binding names are identifiers
+///     with user-chosen case, and keyword case-folding is the parser's
+///     business, not the cache key's.
+///
+/// Idempotent: NormalizeQueryText(NormalizeQueryText(s)) == the inner
+/// result, so callers may normalize already-canonical parser output.
+std::string NormalizeQueryText(std::string_view statement);
+
+}  // namespace shadoop::core
+
+#endif  // SHADOOP_CORE_QUERY_NORMALIZER_H_

@@ -1,7 +1,9 @@
 #ifndef SHADOOP_MAPREDUCE_ARTIFACT_CACHE_H_
 #define SHADOOP_MAPREDUCE_ARTIFACT_CACHE_H_
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <memory>
 #include <string>
@@ -33,13 +35,20 @@ class ArtifactCache {
 
   explicit ArtifactCache(size_t capacity = 4096) : capacity_(capacity) {}
 
-  /// The cached artifact for `key`, or nullptr.
+  /// The cached artifact for `key`, or nullptr. Counts one hit or miss;
+  /// the counters are diagnostics only (surfaced through Pigeon EXPLAIN)
+  /// and never feed the simulated cost model, which stays identical on
+  /// hit and miss.
   Ptr Lookup(const std::string& key) const SHADOOP_EXCLUDES(mu_) {
     MutexLock lock(&mu_);
     const auto it = map_.find(key);
     // Point lookup — no order observed.
-    return it == map_.end() ? nullptr  // lint:allow(unordered-iteration)
-                            : it->second;
+    if (it == map_.end()) {  // lint:allow(unordered-iteration)
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return it->second;
   }
 
   /// Inserts `value` if `key` is absent and returns the resident value —
@@ -65,9 +74,17 @@ class ArtifactCache {
     return map_.size();
   }
 
+  /// Lifetime Lookup() outcomes for this cache instance. Deterministic
+  /// for a deterministic job sequence: each runner owns its cache, and
+  /// a task performs the same lookups regardless of thread interleaving.
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+
  private:
   const size_t capacity_;
   mutable Mutex mu_;
+  mutable std::atomic<uint64_t> hits_{0};
+  mutable std::atomic<uint64_t> misses_{0};
   std::unordered_map<std::string, Ptr> map_ SHADOOP_GUARDED_BY(mu_);
   std::deque<std::string> fifo_ SHADOOP_GUARDED_BY(mu_);
 };

@@ -75,7 +75,7 @@ struct Expr {
 ///   SET tenant_slots <n> ;
 ///   SET max_task_attempts <n> ;
 ///   SET snapshot_version <n> ;    -- pin catalog datasets to version n
-///                                 -- (0 restores each binding's version)
+///                                 -- (0 follows the latest version)
 struct Statement {
   enum class Kind { kAssign, kStore, kDump, kExplain, kSet };
 
@@ -85,6 +85,12 @@ struct Statement {
   std::string path;    // kStore destination; kSet string value.
   double number = 0;   // kSet numeric value.
   Expr expr;           // kAssign only.
+
+  /// The statement's source rendered canonically from its tokens (one
+  /// space between tokens, strings re-quoted, comments gone). Two
+  /// spellings that tokenize identically render identically, which is
+  /// what the server's result cache keys on (after normalization).
+  std::string text;
 };
 
 using Script = std::vector<Statement>;

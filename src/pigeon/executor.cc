@@ -43,9 +43,24 @@ std::vector<std::string> PointsToLines(const std::vector<Point>& points) {
 }  // namespace
 
 Result<ExecutionReport> Executor::Execute(std::string_view script) {
-  SHADOOP_ASSIGN_OR_RETURN(Script statements, Parse(script));
   ExecutionReport report;
+  SHADOOP_RETURN_NOT_OK(ExecuteInto(script, &report));
+  return report;
+}
+
+Status Executor::ExecuteInto(std::string_view script,
+                             ExecutionReport* report) {
+  SHADOOP_ASSIGN_OR_RETURN(Script statements, Parse(script));
   for (const Statement& stmt : statements) {
+    SHADOOP_RETURN_NOT_OK(ExecuteStatement(stmt, report));
+  }
+  return Status::OK();
+}
+
+Status Executor::ExecuteStatement(const Statement& stmt,
+                                  ExecutionReport* report_ptr) {
+  ExecutionReport& report = *report_ptr;
+  {
     switch (stmt.kind) {
       case Statement::Kind::kAssign: {
         Result<Dataset> dataset = Eval(stmt.expr, &report, stmt.target);
@@ -80,6 +95,12 @@ Result<ExecutionReport> Executor::Execute(std::string_view script) {
               static_cast<int>(stmt.number));
         } else if (stmt.target == "SNAPSHOT_VERSION") {
           snapshot_version_ = static_cast<uint64_t>(stmt.number);
+          // An explicit `SET snapshot_version 0` means "follow the
+          // latest version", re-pinned at each binding's next use — not
+          // "keep whatever snapshot the binding happens to hold". A
+          // server session that inherited a shared binding would
+          // otherwise silently read a stale version forever.
+          snapshot_follow_latest_ = snapshot_version_ == 0;
         } else {
           return ErrorAt(stmt.line,
                          "unknown session knob '" + stmt.target + "'");
@@ -109,9 +130,9 @@ Result<ExecutionReport> Executor::Execute(std::string_view script) {
             // Catalog-bound datasets also surface their pinned version and
             // the skew metric driving incremental repartitioning.
             if (!dataset.catalog_name.empty()) {
-              auto latest = catalog_.LatestVersion(dataset.catalog_name);
+              auto latest = catalog_->LatestVersion(dataset.catalog_name);
               auto vstats =
-                  catalog_.Stats(dataset.catalog_name, dataset.version);
+                  catalog_->Stats(dataset.catalog_name, dataset.version);
               if (latest.ok() && vstats.ok()) {
                 char skew[32];
                 std::snprintf(skew, sizeof(skew), "%.2f", vstats->skew);
@@ -161,6 +182,26 @@ Result<ExecutionReport> Executor::Execute(std::string_view script) {
                     std::to_string(value);
         }
         if (!ingest.empty()) line += "; ingest: " + ingest;
+        // Artifact-cache reuse across the jobs this runner executed —
+        // lifetime counts, diagnostics only (the cache is a wall-clock
+        // optimization; simulated charges are identical on hit and
+        // miss). Nonzero-only: a session that never consulted the cache
+        // keeps byte-identical EXPLAIN output.
+        const mapreduce::ArtifactCache* acache = runner_->artifact_cache();
+        if (acache != nullptr && acache->hits() + acache->misses() > 0) {
+          line += "; artifact_cache: hits=" + std::to_string(acache->hits()) +
+                  ", misses=" + std::to_string(acache->misses());
+        }
+        // Result-cache outcomes for this session (server sessions only —
+        // a standalone executor never produces cache.* counters).
+        const int64_t result_hits =
+            report.stats.counters.Get("cache.result_hits");
+        const int64_t result_misses =
+            report.stats.counters.Get("cache.result_misses");
+        if (result_hits > 0 || result_misses > 0) {
+          line += "; result_cache: hits=" + std::to_string(result_hits) +
+                  ", misses=" + std::to_string(result_misses);
+        }
         report.dump_output.push_back(std::move(line));
         break;
       }
@@ -183,7 +224,7 @@ Result<ExecutionReport> Executor::Execute(std::string_view script) {
       }
     }
   }
-  return report;
+  return Status::OK();
 }
 
 void Executor::EnsureAdmission() {
@@ -208,15 +249,24 @@ Result<Dataset> Executor::LookUp(const std::string& name, int line) const {
   }
   // A SET snapshot_version override re-pins catalog-bound datasets at
   // lookup time, so one session knob retargets every subsequent query
-  // without rebinding anything.
-  if (snapshot_version_ != 0 && !it->second.catalog_name.empty() &&
-      it->second.version != snapshot_version_) {
-    auto info = catalog_.Snapshot(it->second.catalog_name, snapshot_version_);
-    if (!info.ok()) return AtLine(line, info.status());
-    Dataset pinned = it->second;
-    pinned.info = std::move(info).value();
-    pinned.version = snapshot_version_;
-    return pinned;
+  // without rebinding anything. snapshot_version 0 (explicitly set)
+  // resolves to the catalog's latest version at every use, so sessions
+  // can opt into fresh reads over a shared, still-ingesting dataset.
+  if (!it->second.catalog_name.empty()) {
+    uint64_t want = snapshot_version_;
+    if (want == 0 && snapshot_follow_latest_) {
+      auto latest = catalog_->LatestVersion(it->second.catalog_name);
+      if (!latest.ok()) return AtLine(line, latest.status());
+      want = latest.value();
+    }
+    if (want != 0 && it->second.version != want) {
+      auto info = catalog_->Snapshot(it->second.catalog_name, want);
+      if (!info.ok()) return AtLine(line, info.status());
+      Dataset pinned = it->second;
+      pinned.info = std::move(info).value();
+      pinned.version = want;
+      return pinned;
+    }
   }
   return it->second;
 }
@@ -224,7 +274,7 @@ Result<Dataset> Executor::LookUp(const std::string& name, int line) const {
 Result<std::string> Executor::EnsureFile(const Dataset& dataset) {
   if (dataset.kind != Dataset::Kind::kLines) return dataset.path;
   const std::string path =
-      "/.pigeon_tmp_" + std::to_string(temp_counter_++);
+      "/.pigeon_tmp_" + temp_namespace_ + std::to_string(temp_counter_++);
   SHADOOP_RETURN_NOT_OK(
       runner_->file_system()->WriteLines(path, dataset.lines));
   return path;
@@ -260,11 +310,11 @@ Result<Dataset> Executor::Eval(const Expr& expr, ExecutionReport* report,
       }
       SHADOOP_ASSIGN_OR_RETURN(
           uint64_t version,
-          catalog_.Append(target.catalog_name, expr.path, stats));
+          catalog_->Append(target.catalog_name, expr.path, stats));
       // The binding `expr.source` keeps its pinned snapshot; the assigned
       // result sees the new version.
       SHADOOP_ASSIGN_OR_RETURN(index::SpatialFileInfo info,
-                               catalog_.Snapshot(target.catalog_name, version));
+                               catalog_->Snapshot(target.catalog_name, version));
       Dataset dataset;
       dataset.kind = Dataset::Kind::kIndexed;
       dataset.shape = info.shape;
@@ -278,15 +328,15 @@ Result<Dataset> Executor::Eval(const Expr& expr, ExecutionReport* report,
       // A dataset persisted by the catalog (it has an "@current" pointer)
       // reattaches with its full version lineage; a plain indexed file
       // registers as version 1.
-      Status opened = catalog_.Open(bind_name, expr.path);
+      Status opened = catalog_->Open(bind_name, expr.path);
       if (!opened.ok()) {
         return ErrorAt(expr.line, "cannot open index '" + expr.path +
                                       "': " + opened.ToString());
       }
       SHADOOP_ASSIGN_OR_RETURN(uint64_t version,
-                               catalog_.LatestVersion(bind_name));
+                               catalog_->LatestVersion(bind_name));
       SHADOOP_ASSIGN_OR_RETURN(index::SpatialFileInfo info,
-                               catalog_.Snapshot(bind_name));
+                               catalog_->Snapshot(bind_name));
       Dataset dataset;
       dataset.kind = Dataset::Kind::kIndexed;
       dataset.shape = info.shape;
@@ -345,7 +395,7 @@ Result<Dataset> Executor::Eval(const Expr& expr, ExecutionReport* report,
       // Register the build as version 1 of the binding, so the dataset is
       // appendable and snapshot-addressable. Pure bookkeeping: no job
       // runs, no counter moves.
-      SHADOOP_RETURN_NOT_OK(catalog_.Register(bind_name, *dataset.info));
+      SHADOOP_RETURN_NOT_OK(catalog_->Register(bind_name, *dataset.info));
       dataset.catalog_name = bind_name;
       dataset.version = 1;
       return dataset;

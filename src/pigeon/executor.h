@@ -51,12 +51,47 @@ struct ExecutionReport {
 /// change when an index appears, only its cost does.
 class Executor {
  public:
+  /// A standalone session: the executor owns its dataset catalog.
   explicit Executor(mapreduce::JobRunner* runner)
-      : runner_(runner), catalog_(runner) {}
+      : runner_(runner),
+        owned_catalog_(std::make_unique<catalog::DatasetCatalog>(runner)),
+        catalog_(owned_catalog_.get()) {}
+
+  /// A server session (DESIGN.md §14): many executors share one catalog
+  /// so datasets and their indexes are loaded once and read by every
+  /// session. The catalog must outlive the executor; the caller (the
+  /// query server) is responsible for serializing writes — catalog reads
+  /// themselves are thread-safe.
+  Executor(mapreduce::JobRunner* runner, catalog::DatasetCatalog* catalog)
+      : runner_(runner), catalog_(catalog) {}
 
   /// Parses and runs `script`. The environment persists across calls, so
   /// a REPL can feed statements incrementally.
   Result<ExecutionReport> Execute(std::string_view script);
+
+  /// Like Execute, but accumulates into an existing report. The query
+  /// server keeps one cumulative report per session, so splitting a
+  /// script across many requests yields byte-identical dump output and
+  /// EXPLAIN counters to running it in one Execute call.
+  Status ExecuteInto(std::string_view script, ExecutionReport* report);
+
+  /// Runs one already-parsed statement against the session. The server's
+  /// result cache sits between Parse and this call: cacheable assignments
+  /// are intercepted, everything else flows through unchanged.
+  Status ExecuteStatement(const Statement& stmt, ExecutionReport* report);
+
+  /// Resolves `name` exactly as a query would (including any SET
+  /// snapshot_version re-pinning). `line` anchors error messages.
+  Result<Dataset> ResolveBinding(const std::string& name, int line) const {
+    return LookUp(name, line);
+  }
+
+  /// Binds `name` directly, bypassing evaluation — the server uses this
+  /// to pre-bind shared catalog datasets into a fresh session and to
+  /// install result-cache hits.
+  void Bind(const std::string& name, Dataset dataset) {
+    env_[name] = std::move(dataset);
+  }
 
   /// Access to bound datasets (for tests and tooling).
   const std::map<std::string, Dataset>& environment() const { return env_; }
@@ -64,8 +99,14 @@ class Executor {
   /// The session's dataset catalog: every INDEX registers its result here
   /// (version 1), `LOAD ... APPEND` grows it, and `SET snapshot_version`
   /// re-pins catalog-bound datasets at lookup time.
-  catalog::DatasetCatalog& catalog() { return catalog_; }
+  catalog::DatasetCatalog& catalog() { return *catalog_; }
   uint64_t snapshot_version() const { return snapshot_version_; }
+
+  /// Namespace prefix for the temporary files that materialize result
+  /// datasets ("/.pigeon_tmp_<ns><n>"). Concurrent server sessions share
+  /// one file system, so each session must set a unique prefix; the
+  /// default (empty) keeps standalone paths byte-identical to before.
+  void set_temp_namespace(std::string ns) { temp_namespace_ = std::move(ns); }
 
   /// Multi-tenant admission (DESIGN.md §10). A session starts with no
   /// controller — jobs run unconstrained, byte-identical to the
@@ -115,12 +156,18 @@ class Executor {
   void BindAdmission();
 
   mapreduce::JobRunner* runner_;
-  catalog::DatasetCatalog catalog_;
-  /// SET snapshot_version override: 0 follows each binding's own pinned
-  /// version, n >= 1 re-resolves catalog-bound datasets to version n.
+  std::unique_ptr<catalog::DatasetCatalog> owned_catalog_;
+  catalog::DatasetCatalog* catalog_;
+  /// SET snapshot_version override: n >= 1 re-resolves catalog-bound
+  /// datasets to version n at lookup time. An *explicit* `SET
+  /// snapshot_version 0` (snapshot_follow_latest_) re-pins each binding
+  /// to the catalog's latest version at its next use — a session that
+  /// never touched the knob keeps each binding's own pinned version.
   uint64_t snapshot_version_ = 0;
+  bool snapshot_follow_latest_ = false;
   std::map<std::string, Dataset> env_;
   int temp_counter_ = 0;
+  std::string temp_namespace_;
   std::string tenant_ = "default";
   std::unique_ptr<mapreduce::AdmissionController> owned_admission_;
   mapreduce::AdmissionController* admission_ = nullptr;

@@ -63,7 +63,45 @@ class Parser {
     return token.number;
   }
 
+  /// Renders tokens [begin, end) back to canonical source text: token
+  /// texts separated by single spaces, strings re-quoted, punctuation
+  /// spelled out. Comments and original whitespace are already gone, so
+  /// any two spellings with the same token stream render identically.
+  std::string RenderTokens(size_t begin, size_t end) const {
+    std::string out;
+    for (size_t i = begin; i < end && i < tokens_.size(); ++i) {
+      const Token& token = tokens_[i];
+      if (token.type == TokenType::kEnd) break;
+      if (!out.empty()) out.push_back(' ');
+      switch (token.type) {
+        case TokenType::kString:
+          out += "'" + token.text + "'";
+          break;
+        case TokenType::kEquals:
+          out += "=";
+          break;
+        case TokenType::kComma:
+          out += ",";
+          break;
+        case TokenType::kSemicolon:
+          out += ";";
+          break;
+        case TokenType::kLeftParen:
+          out += "(";
+          break;
+        case TokenType::kRightParen:
+          out += ")";
+          break;
+        default:  // Identifiers and numbers carry their own text.
+          out += token.text;
+          break;
+      }
+    }
+    return out;
+  }
+
   Result<Statement> ParseStatement() {
+    const size_t start = pos_;
     const Token first = Peek();
     if (first.type != TokenType::kIdentifier) {
       return ErrorAt(first, "expected a statement");
@@ -129,6 +167,7 @@ class Parser {
       SHADOOP_ASSIGN_OR_RETURN(stmt.expr, ParseExpr());
     }
     SHADOOP_RETURN_NOT_OK(Expect(TokenType::kSemicolon, "';'").status());
+    stmt.text = RenderTokens(start, pos_);
     return stmt;
   }
 

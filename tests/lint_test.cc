@@ -46,7 +46,7 @@ TEST(LintRegistry, ExposesEveryRule) {
   for (const char* expected :
        {"banned-clock", "banned-random", "unordered-iteration", "naked-mutex",
         "iostream-include", "banned-float-accum", "unstable-sort-before-emit",
-        "size-dependent-seed"}) {
+        "size-dependent-seed", "server-wall-clock"}) {
     EXPECT_NE(std::find(ids.begin(), ids.end(), expected), ids.end())
         << "missing rule " << expected;
   }
@@ -316,6 +316,53 @@ TEST(SizeDependentSeed, AllowEscapeSuppresses) {
       Lint("shadoop::Random rng(\n"
            "    entries.size());  // lint:allow(size-dependent-seed)\n")
           .empty());
+}
+
+// ---------------------------------------------------------------------------
+// server-wall-clock (scoped to src/server/)
+
+TEST(ServerWallClock, FiresOnStopwatchInServerCode) {
+  EXPECT_TRUE(HasRule(Lint("Stopwatch sw;\n", "src/server/query_server.cc"),
+                      "server-wall-clock"));
+  EXPECT_TRUE(HasRule(
+      Lint("double t = shadoop::Stopwatch().ElapsedMs();\n",
+           "src/server/result_cache.h"),
+      "server-wall-clock"));
+}
+
+TEST(ServerWallClock, FiresOnWallMsInServerCode) {
+  EXPECT_TRUE(HasRule(
+      Lint("out.sim_latency = report.stats.wall_ms;\n",
+           "src/server/query_server.cc"),
+      "server-wall-clock"));
+}
+
+TEST(ServerWallClock, QuietOutsideServerTree) {
+  // The same tokens are legitimate elsewhere (bench wall-clock
+  // reporting, OpStats accumulation): the rule is scoped, not global.
+  EXPECT_TRUE(Lint("stats.wall_ms += result.wall_ms;\n",
+                   "src/core/op_stats.h")
+                  .empty());
+  EXPECT_TRUE(
+      Lint("Stopwatch sw;\n", "bench/bench_hotpath.cc").empty());
+}
+
+TEST(ServerWallClock, QuietOnSimulatedLatencyMath) {
+  EXPECT_TRUE(Lint("out.sim_latency_ms = cost.total_ms + "
+                   "cost.admission_wait_ms;\n",
+                   "src/server/query_server.cc")
+                  .empty());
+  // Mentions in comments and strings never fire.
+  EXPECT_TRUE(Lint("// wall_ms is deliberately absent here\n"
+                   "const char* doc = \"no Stopwatch in the server\";\n",
+                   "src/server/query_server.cc")
+                  .empty());
+}
+
+TEST(ServerWallClock, AllowEscapeSuppresses) {
+  EXPECT_TRUE(Lint("double w = r.wall_ms;  // lint:allow(server-wall-clock)\n",
+                   "src/server/query_server.cc")
+                  .empty());
 }
 
 // ---------------------------------------------------------------------------

@@ -193,6 +193,11 @@ using RuleFn = void (*)(const FileView&, const RuleInfo&,
 struct RuleImpl {
   RuleInfo info;
   std::vector<std::string> exempt_path_suffixes;
+  /// When non-empty, the rule applies *only* to files whose normalized
+  /// path contains one of these substrings — scoped rules that harden a
+  /// single subsystem (e.g. the serving tier) without touching the rest
+  /// of the tree.
+  std::vector<std::string> restrict_path_substrings;
   RuleFn fn;
 };
 
@@ -451,6 +456,26 @@ void SizeDependentSeedRule(const FileView& view, const RuleInfo& rule,
   }
 }
 
+/// Scoped to src/server/: the serving tier reports *simulated* latency
+/// (p50/p99 of modeled JobCost time), and a single wall-clock read
+/// leaking into that math would make every saturation benchmark
+/// machine-dependent. Stopwatch and the wall_ms fields are legitimate
+/// elsewhere (bench harness wall-clock reporting); here they are banned
+/// outright. Blanked string literals mean a quoted #include path cannot
+/// be matched, but using a Stopwatch or reading a wall_ms field always
+/// names the token in code, which is what fires.
+void ServerWallClockRule(const FileView& view, const RuleInfo& rule,
+                         std::vector<Finding>* findings) {
+  static const char* kTokens[] = {"Stopwatch", "wall_ms"};
+  for (size_t i = 0; i < view.code.size(); ++i) {
+    for (const char* token : kTokens) {
+      if (!TokenHits(view.code[i], token).empty()) {
+        AddFinding(view, i, rule, findings);
+      }
+    }
+  }
+}
+
 const std::vector<RuleImpl>& RuleRegistry() {
   static const std::vector<RuleImpl>* kRules = new std::vector<RuleImpl>{
       {{"banned-clock",
@@ -458,15 +483,18 @@ const std::vector<RuleImpl>& RuleRegistry() {
         "and simulated time are the only clocks — real time breaks "
         "run-to-run determinism"},
        {"common/stopwatch.h"},
+       {},
        &BannedClockRule},
       {{"banned-random",
         "nondeterministic randomness; draw from an explicitly seeded "
         "shadoop::Random (common/random.h) so runs reproduce"},
        {"common/random.h", "common/random.cc"},
+       {},
        &BannedRandomRule},
       {{"unordered-iteration",
         "iteration over a hash container; its order feeds emits and "
         "counters — use an ordered container or a sorted snapshot"},
+       {},
        {},
        &UnorderedIterationRule},
       {{"naked-mutex",
@@ -474,15 +502,18 @@ const std::vector<RuleImpl>& RuleRegistry() {
         "(common/thread_annotations.h) so Clang thread-safety analysis "
         "sees the lock"},
        {},
+       {},
        &NakedMutexRule},
       {{"iostream-include",
         "<iostream> in library code; log through common/logging.h"},
+       {},
        {},
        &IostreamIncludeRule},
       {{"banned-float-accum",
         "float in library code; geometry accumulation is double-only — "
         "float rounding shifts MBRs, cell boundaries and dedup reference "
         "points between runs and platforms"},
+       {},
        {},
        &BannedFloatAccumRule},
       {{"unstable-sort-before-emit",
@@ -491,6 +522,7 @@ const std::vector<RuleImpl>& RuleRegistry() {
         "std::stable_sort (or a total tie-breaking comparator) before "
         "Emit/WriteOutput"},
        {},
+       {},
        &UnstableSortBeforeEmitRule},
       {{"size-dependent-seed",
         ".size() feeding a Random seed; a size-derived seed gives equal-"
@@ -498,7 +530,15 @@ const std::vector<RuleImpl>& RuleRegistry() {
         "the data grows — seed from an explicit constant or a stable "
         "identity"},
        {},
+       {},
        &SizeDependentSeedRule},
+      {{"server-wall-clock",
+        "wall-clock artifact in the serving tier; src/server/ computes "
+        "simulated latency only — Stopwatch and wall_ms stay out so "
+        "p50/p99 reproduce across machines and reruns"},
+       {},
+       {"src/server/"},
+       &ServerWallClockRule},
   };
   return *kRules;
 }
@@ -532,6 +572,14 @@ std::vector<Finding> Linter::LintFile(std::string_view path,
                       return EndsWith(view.path, suffix);
                     });
     if (exempt) continue;
+    const bool in_scope =
+        rule.restrict_path_substrings.empty() ||
+        std::any_of(rule.restrict_path_substrings.begin(),
+                    rule.restrict_path_substrings.end(),
+                    [&](const std::string& substring) {
+                      return view.path.find(substring) != std::string::npos;
+                    });
+    if (!in_scope) continue;
     rule.fn(view, rule.info, &findings);
   }
 
