@@ -66,6 +66,13 @@
 #define SHADOOP_HAS_SERVER 1
 #endif
 
+// The planning scenario needs both the query server (sessions, admission
+// seeds) and the cost-based optimizer; baselines that predate either
+// simply skip it.
+#if defined(SHADOOP_HAS_SERVER) && __has_include("optimizer/optimizer.h")
+#define SHADOOP_HAS_OPTIMIZER 1
+#endif
+
 namespace shadoop {
 namespace {
 
@@ -614,6 +621,136 @@ BenchResult BenchServerSaturation(int reps) {
 }
 #endif  // SHADOOP_HAS_SERVER
 
+#ifdef SHADOOP_HAS_OPTIMIZER
+constexpr size_t kPlanPoints = 30000;
+constexpr size_t kPlanPolygons = 4000;
+constexpr size_t kPlanSkewPoints = 20000;
+
+// The statement stream of one planning run: every costed decision in the
+// tree — join strategy on disjoint point indexes and on overlapping
+// polygon indexes, range index-vs-scan, and the AUTO partitioning
+// advisor — each followed by the EXPLAIN that renders its `; plan:`
+// segment. The FNV checksum over the returned rows therefore pins the
+// *chosen plans* (and their rendered cost estimates), not just the query
+// answers: a machine- or seed-dependent plan flips the checksum.
+std::vector<std::string> PlanningScripts() {
+  return {
+      "a = LOAD '/opt_a' AS POINT;",
+      "b = LOAD '/opt_b' AS POINT;",
+      "ai = INDEX a WITH STR INTO '/opt_a.idx';",
+      "bi = INDEX b WITH STR INTO '/opt_b.idx';",
+      "pj = SJOIN ai, bi; EXPLAIN pj;",
+      "r = RANGE ai RECTANGLE(100000, 100000, 420000, 420000); EXPLAIN r;",
+      "c = COUNT bi RECTANGLE(0, 0, 250000, 990000); EXPLAIN c; DUMP c;",
+      "pa = LOAD '/opt_pa' AS POLYGON;",
+      "pb = LOAD '/opt_pb' AS POLYGON;",
+      "pai = INDEX pa WITH STR INTO '/opt_pa.idx';",
+      "pbi = INDEX pb WITH STR INTO '/opt_pb.idx';",
+      "gj = SJOIN pai, pbi; EXPLAIN gj;",
+      "skew = LOAD '/opt_skew' AS POINT;",
+      "auto_idx = INDEX skew WITH AUTO INTO '/opt_auto.idx';",
+      "EXPLAIN auto_idx;",
+      "n = COUNT auto_idx RECTANGLE(0, 0, 1000000, 1000000); DUMP n;",
+  };
+}
+
+struct PlanningRun {
+  double wall_ms = 0;
+  uint64_t checksum = 0;
+};
+
+// One planning round on a fresh filesystem (identical bytes and paths
+// every time, so EXPLAIN output — which prints paths — is comparable
+// across rounds): generate the datasets, open one server session, drive
+// the statement stream, hash every returned row.
+PlanningRun RunOptimizerPlanning(uint64_t seed) {
+  Cluster cluster;
+  workload::PointGenOptions uniform_a;
+  uniform_a.count = kPlanPoints;
+  uniform_a.seed = 71;
+  SHADOOP_CHECK_OK(workload::WritePointFile(&cluster.fs, "/opt_a", uniform_a));
+  workload::PointGenOptions uniform_b = uniform_a;
+  uniform_b.seed = 72;
+  SHADOOP_CHECK_OK(workload::WritePointFile(&cluster.fs, "/opt_b", uniform_b));
+  workload::PointGenOptions skew;
+  skew.distribution = workload::Distribution::kClustered;
+  skew.count = kPlanSkewPoints;
+  skew.seed = 73;
+  SHADOOP_CHECK_OK(workload::WritePointFile(&cluster.fs, "/opt_skew", skew));
+  // Clustered, fat polygons: the partition MBRs overlap heavily, which
+  // is the regime where the pairwise join explodes and SJMR competes.
+  workload::PolygonGenOptions poly;
+  poly.centers.distribution = workload::Distribution::kClustered;
+  poly.centers.count = kPlanPolygons;
+  poly.centers.seed = 74;
+  poly.max_radius_fraction = 0.04;
+  SHADOOP_CHECK_OK(workload::WritePolygonFile(&cluster.fs, "/opt_pa", poly));
+  poly.centers.seed = 75;
+  SHADOOP_CHECK_OK(workload::WritePolygonFile(&cluster.fs, "/opt_pb", poly));
+
+  server::ServerOptions options;
+  options.cluster = Cluster::ClusterConfig();
+  options.admission_seed = seed;
+  server::QueryServer qs(&cluster.fs, options);
+  const server::SessionId session = qs.OpenSession().ValueOrDie();
+
+  PlanningRun run;
+  uint64_t h = 1469598103934665603ULL;
+  const auto start = std::chrono::steady_clock::now();
+  for (const std::string& script : PlanningScripts()) {
+    const server::RequestResult request =
+        qs.Execute(session, script).ValueOrDie();
+    for (const std::string& row : request.rows) h = Fnv64(row + "\n", h);
+    h = Fnv64("--\n", h);
+  }
+  run.wall_ms = MsSince(start);
+  run.checksum = h;
+  return run;
+}
+
+// Cost-based planning end to end: index builds (one via the AUTO
+// advisor), two planned joins, planned range/count — wall_ms is the
+// whole planned-and-executed stream, best-of-reps. Repetitions double as
+// the plan-determinism check, and extra admission seeds verify that
+// scheduling tie-breaks cannot leak into plan choices: the row checksum
+// (which pins every EXPLAIN `; plan:` line) must be bit-identical across
+// all of them, or the scenario exits non-zero.
+BenchResult BenchOptimizerPlanning(int reps) {
+  BenchResult result;
+  result.name = "optimizer_planning";
+  PlanningRun base;
+  result.wall_ms = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < reps; ++rep) {
+    const PlanningRun run = RunOptimizerPlanning(0);
+    if (rep == 0) {
+      base = run;
+    } else if (run.checksum != base.checksum) {
+      std::cerr << "FAIL: optimizer_planning rerun diverged (checksum "
+                << run.checksum << " vs " << base.checksum << ")\n";
+      std::exit(1);
+    }
+    result.wall_ms = std::min(result.wall_ms, run.wall_ms);
+  }
+  for (uint64_t seed : {uint64_t{1}, uint64_t{2}}) {
+    const PlanningRun run = RunOptimizerPlanning(seed);
+    if (run.checksum != base.checksum) {
+      std::cerr << "FAIL: optimizer_planning plans diverged under admission "
+                   "seed "
+                << seed << "\n";
+      std::exit(1);
+    }
+  }
+  // Visit bound: each dataset is read a bounded number of times (build,
+  // sample, join pairs); generous but finite so dead-code elimination of
+  // the stream would still be caught by the checksum, not this field.
+  result.records = static_cast<int64_t>(2 * kPlanPoints + kPlanSkewPoints +
+                                        2 * kPlanPolygons) *
+                   16;
+  result.checksum = static_cast<int64_t>(base.checksum & 0x1fffffffffffffULL);
+  return result;
+}
+#endif  // SHADOOP_HAS_OPTIMIZER
+
 // ---------------------------------------------------------------------
 // Ad-hoc JSON (one benchmark object per line, so the merge mode can
 // read it back with plain string scanning — no JSON library needed).
@@ -768,6 +905,9 @@ int RunAll(const std::string& label, const std::string& out_path, int reps,
 #endif
 #ifdef SHADOOP_HAS_SERVER
   benches.push_back({"server_saturation", &BenchServerSaturation});
+#endif
+#ifdef SHADOOP_HAS_OPTIMIZER
+  benches.push_back({"optimizer_planning", &BenchOptimizerPlanning});
 #endif
   for (const NamedBench& bench : benches) {
     if (!only.empty() && only != bench.first) continue;

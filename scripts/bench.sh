@@ -3,14 +3,17 @@
 # revision. Builds bench_hotpath in Release mode twice — once in this
 # tree, once in a detached worktree of the baseline ref (default:
 # HEAD~1) with the same harness source copied in — runs both with
-# identical fixed seeds, and merges the two reports into BENCH_pr8.json.
+# identical fixed seeds, and merges the two reports into BENCH_pr9.json.
 # Besides the zero-copy benchmarks, the current tree also runs the
 # fault-recovery scenario (5% task failures + stragglers), the
-# incremental-ingest scenario (catalog appends vs a full rebuild), and
-# the server-saturation scenario (concurrent tenant sessions through
-# the query server, reporting simulated p50/p99 request latencies);
-# baselines that predate the fault, catalog or server subsystems simply
-# skip them (the merge emits those rows with baseline -1).
+# incremental-ingest scenario (catalog appends vs a full rebuild), the
+# server-saturation scenario (concurrent tenant sessions through the
+# query server, reporting simulated p50/p99 request latencies), and the
+# optimizer-planning scenario (cost-based join/range/index planning,
+# whose row checksum pins every EXPLAIN plan line and must be identical
+# across reruns and admission seeds); baselines that predate the fault,
+# catalog, server or optimizer subsystems simply skip them (the merge
+# emits those rows with baseline -1).
 #
 # Fails if the parse-once invariant is violated (geometry parses exceed
 # the record-visit bound of any benchmark in the current tree) or if the
@@ -23,7 +26,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 BASELINE_REF="${1:-HEAD~1}"
 REPS="${REPS:-3}"
-OUT="${OUT:-BENCH_pr8.json}"
+OUT="${OUT:-BENCH_pr9.json}"
 BASELINE_DIR=".bench-baseline"
 
 echo "== building current tree (Release) =="

@@ -41,13 +41,17 @@ bool JoinMatch(SpatialRecordReader& reader_a, uint32_t pa,
 /// Joins two record sets with the selected in-memory kernel. Emits
 /// matched pairs that pass `accept_ref` (the duplicate-avoidance
 /// predicate over the pair's reference point). Returns charged CPU ops.
+/// `flip_output` emits the second reader's record first — callers that
+/// swapped their inputs to move the build side use it to keep the output
+/// line format (original A record, separator, B record).
 uint64_t LocalJoin(SpatialRecordReader& reader_a,
                    const std::vector<index::RTree::Entry>& entries_a,
                    SpatialRecordReader& reader_b,
                    const std::vector<index::RTree::Entry>& entries_b,
                    LocalJoinAlgorithm algorithm,
                    const std::function<bool(const Point&)>& accept_ref,
-                   const std::function<void(std::string)>& emit) {
+                   const std::function<void(std::string)>& emit,
+                   bool flip_output = false) {
   // Payload -> envelope lookup (payloads index records(), but entries may
   // skip malformed records, so positions and payloads differ).
   std::vector<Envelope> env_of_a(reader_a.NumRecords());
@@ -67,11 +71,13 @@ uint64_t LocalJoin(SpatialRecordReader& reader_a,
         if (JoinMatch(reader_a, pa, env_a, reader_b, pb, env_b)) {
           const std::string_view ra = reader_a.records()[pa];
           const std::string_view rb = reader_b.records()[pb];
+          const std::string_view first = flip_output ? rb : ra;
+          const std::string_view second = flip_output ? ra : rb;
           std::string line;
-          line.reserve(ra.size() + 1 + rb.size());
-          line.append(ra);
+          line.reserve(first.size() + 1 + second.size());
+          line.append(first);
           line.push_back(kJoinSeparator);
-          line.append(rb);
+          line.append(second);
           emit(std::move(line));
         }
       });
@@ -198,11 +204,12 @@ class SjmrReducer : public mapreduce::Reducer {
 class DjMapper : public PairPartitionMapper {
  public:
   DjMapper(index::ShapeType shape_a, index::ShapeType shape_b, bool dedup_a,
-           bool dedup_b, LocalJoinAlgorithm algorithm)
+           bool dedup_b, LocalJoinAlgorithm algorithm, bool build_right)
       : PairPartitionMapper(shape_a, shape_b),
         dedup_a_(dedup_a),
         dedup_b_(dedup_b),
-        algorithm_(algorithm) {}
+        algorithm_(algorithm),
+        build_right_(build_right) {}
 
  protected:
   void Process(const SplitExtent& extent_a, const SplitExtent& extent_b,
@@ -221,13 +228,21 @@ class DjMapper : public PairPartitionMapper {
       }
       return true;
     };
-    const uint64_t cpu = LocalJoin(
-        view_a.reader(), view_a.Envelopes(), view_b.reader(),
-        view_b.Envelopes(), algorithm_, accept,
-        [&ctx](std::string line) {
-          ctx.WriteOutput(std::move(line));
-          ctx.counters().Increment("join.results");
-        });
+    const auto write = [&ctx](std::string line) {
+      ctx.WriteOutput(std::move(line));
+      ctx.counters().Increment("join.results");
+    };
+    // The kernel builds on its first input; swapping the views moves the
+    // build side while flip_output keeps the A-first line format. The
+    // reference point and the match predicate are symmetric, so the same
+    // pairs come out either way.
+    const uint64_t cpu =
+        build_right_
+            ? LocalJoin(view_b.reader(), view_b.Envelopes(), view_a.reader(),
+                        view_a.Envelopes(), algorithm_, accept, write,
+                        /*flip_output=*/true)
+            : LocalJoin(view_a.reader(), view_a.Envelopes(), view_b.reader(),
+                        view_b.Envelopes(), algorithm_, accept, write);
     ctx.ChargeCpu(cpu);
   }
 
@@ -235,6 +250,7 @@ class DjMapper : public PairPartitionMapper {
   bool dedup_a_;
   bool dedup_b_;
   LocalJoinAlgorithm algorithm_;
+  bool build_right_;
 };
 
 }  // namespace
@@ -337,14 +353,16 @@ Result<std::vector<std::string>> DistributedJoin(
   const bool dedup_a = file_a.global_index.IsDisjoint();
   const bool dedup_b = file_b.global_index.IsDisjoint();
   const LocalJoinAlgorithm algorithm = options.local_algorithm;
+  const bool build_right = options.build_right;
   SHADOOP_ASSIGN_OR_RETURN(
       JobResult result,
       SpatialJobBuilder(runner)
           .Name("distributed-join")
           .ScanPartitionPairs(file_a, file_b, pairs)
-          .Map([shape_a, shape_b, dedup_a, dedup_b, algorithm]() {
+          .Map([shape_a, shape_b, dedup_a, dedup_b, algorithm,
+                build_right]() {
             return std::make_unique<DjMapper>(shape_a, shape_b, dedup_a,
-                                              dedup_b, algorithm);
+                                              dedup_b, algorithm, build_right);
           })
           .Run(stats));
   return std::move(result.output);

@@ -54,6 +54,14 @@ Result<std::vector<std::string>> SjmrJoin(mapreduce::JobRunner* runner,
 struct DjOptions {
   /// In-memory join kernel used inside each pair task.
   LocalJoinAlgorithm local_algorithm = LocalJoinAlgorithm::kRTreeProbe;
+
+  /// Build the in-memory structure on the B side of each pair and probe
+  /// with A (the kernel builds on its first input). Probing charges 5x
+  /// what building does per entry-level, so the optimizer builds on the
+  /// side with more records. Output lines still carry the A record first;
+  /// matches and charges are identical either way, only the modeled task
+  /// times differ.
+  bool build_right = false;
 };
 
 /// DJ — the SpatialHadoop join for two *indexed* inputs: the master joins

@@ -17,8 +17,10 @@ namespace shadoop::pigeon {
 ///   LOAD '<path>' AS (POINT | RECTANGLE | POLYGON)
 ///   LOAD '<path>' APPEND <name>   -- ingest a batch into a catalog dataset
 ///   LOADINDEX '<path>'
-///   INDEX <name> WITH (GRID | STR | STR+ | QUADTREE | KDTREE | ZCURVE |
-///                      HILBERT) [INTO '<path>']
+///   INDEX <name> WITH (AUTO | GRID | STR | STR+ | QUADTREE | KDTREE |
+///                      ZCURVE | HILBERT) [INTO '<path>']
+///     -- AUTO defers the technique to the partitioning advisor (falls
+///     -- back to STR when the optimizer is off)
 ///   RANGE <name> RECTANGLE(x1, y1, x2, y2)
 ///   COUNT <name> RECTANGLE(x1, y1, x2, y2)
 ///   KNN <name> POINT(x, y) K <k>
@@ -54,6 +56,8 @@ struct Expr {
   std::string path;
   index::ShapeType shape = index::ShapeType::kPoint;
   index::PartitionScheme scheme = index::PartitionScheme::kStr;
+  /// kIndex: WITH AUTO — the advisor picks `scheme` at execution time.
+  bool auto_scheme = false;
 
   // Operation inputs: referenced dataset names.
   std::string source;
@@ -76,6 +80,8 @@ struct Expr {
 ///   SET max_task_attempts <n> ;
 ///   SET snapshot_version <n> ;    -- pin catalog datasets to version n
 ///                                 -- (0 follows the latest version)
+///   SET optimizer (on | off) ;    -- cost-based planning (default on;
+///                                 -- off reproduces the legacy plans)
 struct Statement {
   enum class Kind { kAssign, kStore, kDump, kExplain, kSet };
 

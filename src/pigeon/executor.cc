@@ -93,6 +93,8 @@ Status Executor::ExecuteStatement(const Statement& stmt,
         } else if (stmt.target == "MAX_TASK_ATTEMPTS") {
           runner_->set_max_task_attempts_override(
               static_cast<int>(stmt.number));
+        } else if (stmt.target == "OPTIMIZER") {
+          optimizer_on_ = stmt.path == "on";
         } else if (stmt.target == "SNAPSHOT_VERSION") {
           snapshot_version_ = static_cast<uint64_t>(stmt.number);
           // An explicit `SET snapshot_version 0` means "follow the
@@ -201,6 +203,16 @@ Status Executor::ExecuteStatement(const Statement& stmt,
         if (result_hits > 0 || result_misses > 0) {
           line += "; result_cache: hits=" + std::to_string(result_hits) +
                   ", misses=" + std::to_string(result_misses);
+        }
+        // The latest plan decision made for this binding, same
+        // nonzero-only contract: only operations the optimizer actually
+        // planned (joins, ranges, counts, AUTO index builds with the
+        // optimizer on) add the segment, so every other EXPLAIN stays
+        // byte-identical.
+        for (auto it = plan_log_.rbegin(); it != plan_log_.rend(); ++it) {
+          if (it->target != stmt.target) continue;
+          line += "; plan: " + optimizer::FormatDecision(*it);
+          break;
         }
         report.dump_output.push_back(std::move(line));
         break;
@@ -348,6 +360,14 @@ Result<Dataset> Executor::Eval(const Expr& expr, ExecutionReport* report,
     }
     case Expr::Kind::kCount: {
       SHADOOP_ASSIGN_OR_RETURN(Dataset source, LookUp(expr.source, expr.line));
+      bool use_index = true;
+      if (optimizer_on_ && source.kind == Dataset::Kind::kIndexed) {
+        optimizer::RangePlan plan = optimizer::PlanRange(
+            runner_->cluster(), *source.info, expr.range, "count");
+        plan.decision.target = bind_name;
+        use_index = plan.use_index;
+        plan_log_.push_back(std::move(plan.decision));
+      }
       SHADOOP_ASSIGN_OR_RETURN(
           int64_t count,
           Dispatch(
@@ -359,7 +379,8 @@ Result<Dataset> Executor::Eval(const Expr& expr, ExecutionReport* report,
               [&](const std::string& path) {
                 return core::RangeCountHadoop(runner_, path, source.shape,
                                               expr.range, stats);
-              }));
+              },
+              /*allow_spatial=*/use_index));
       Dataset result;
       result.kind = Dataset::Kind::kLines;
       result.lines = {std::to_string(count)};
@@ -368,18 +389,31 @@ Result<Dataset> Executor::Eval(const Expr& expr, ExecutionReport* report,
     case Expr::Kind::kIndex: {
       SHADOOP_ASSIGN_OR_RETURN(Dataset source, LookUp(expr.source, expr.line));
       SHADOOP_ASSIGN_OR_RETURN(std::string source_path, EnsureFile(source));
+      index::IndexBuilder builder(runner_);
+      index::IndexBuildOptions options;
+      options.scheme = expr.scheme;
+      options.shape = source.shape;
+      if (expr.auto_scheme && optimizer_on_) {
+        // WITH AUTO: the advisor scores candidate (technique, granularity)
+        // pairs on a deterministic sample of the source file. Master-side
+        // work only — no job runs, no counter moves. With the optimizer
+        // off, AUTO decays to the STR default the parser installed.
+        Result<optimizer::IndexPlan> plan = optimizer::PlanIndexBuild(
+            runner_->file_system(), source_path, source.shape);
+        if (!plan.ok()) return AtLine(expr.line, plan.status());
+        options.scheme = plan->scheme;
+        options.target_partitions = plan->target_partitions;
+        plan->decision.target = bind_name;
+        plan_log_.push_back(std::move(plan->decision));
+      }
       std::string dest = expr.path.empty()
                              ? source_path + ".idx_" +
-                                   index::PartitionSchemeName(expr.scheme)
+                                   index::PartitionSchemeName(options.scheme)
                              : expr.path;
       // "str+" is not a valid path suffix everywhere; normalize.
       for (char& c : dest) {
         if (c == '+') c = 'p';
       }
-      index::IndexBuilder builder(runner_);
-      index::IndexBuildOptions options;
-      options.scheme = expr.scheme;
-      options.shape = source.shape;
       SHADOOP_ASSIGN_OR_RETURN(index::SpatialFileInfo info,
                                builder.Build(source_path, dest, options));
       stats->cost.total_ms += info.build_cost.total_ms;
@@ -402,6 +436,14 @@ Result<Dataset> Executor::Eval(const Expr& expr, ExecutionReport* report,
     }
     case Expr::Kind::kRange: {
       SHADOOP_ASSIGN_OR_RETURN(Dataset source, LookUp(expr.source, expr.line));
+      bool use_index = true;
+      if (optimizer_on_ && source.kind == Dataset::Kind::kIndexed) {
+        optimizer::RangePlan plan = optimizer::PlanRange(
+            runner_->cluster(), *source.info, expr.range, "range");
+        plan.decision.target = bind_name;
+        use_index = plan.use_index;
+        plan_log_.push_back(std::move(plan.decision));
+      }
       Dataset result;
       result.kind = Dataset::Kind::kLines;
       result.shape = source.shape;
@@ -416,7 +458,8 @@ Result<Dataset> Executor::Eval(const Expr& expr, ExecutionReport* report,
               [&](const std::string& path) {
                 return core::RangeQueryHadoop(runner_, path, source.shape,
                                               expr.range, stats);
-              }));
+              },
+              /*allow_spatial=*/use_index));
       return result;
     }
     case Expr::Kind::kKnn: {
@@ -448,9 +491,28 @@ Result<Dataset> Executor::Eval(const Expr& expr, ExecutionReport* report,
       result.shape = left.shape;
       if (left.kind == Dataset::Kind::kIndexed &&
           right.kind == Dataset::Kind::kIndexed) {
-        SHADOOP_ASSIGN_OR_RETURN(
-            result.lines,
-            core::DistributedJoin(runner_, *left.info, *right.info, stats));
+        core::DjOptions dj_options;
+        bool use_sjmr = false;
+        if (optimizer_on_) {
+          optimizer::JoinPlan plan = optimizer::PlanJoin(
+              runner_->cluster(), *left.info, *right.info);
+          plan.decision.target = bind_name;
+          use_sjmr = plan.strategy == optimizer::JoinStrategy::kSjmr;
+          dj_options.build_right =
+              plan.strategy == optimizer::JoinStrategy::kDjBuildRight;
+          plan_log_.push_back(std::move(plan.decision));
+        }
+        if (use_sjmr) {
+          SHADOOP_ASSIGN_OR_RETURN(
+              result.lines,
+              core::SjmrJoin(runner_, left.path, left.shape, right.path,
+                             right.shape, stats));
+        } else {
+          SHADOOP_ASSIGN_OR_RETURN(
+              result.lines, core::DistributedJoin(runner_, *left.info,
+                                                  *right.info, stats,
+                                                  dj_options));
+        }
       } else {
         SHADOOP_ASSIGN_OR_RETURN(std::string left_path, EnsureFile(left));
         SHADOOP_ASSIGN_OR_RETURN(std::string right_path, EnsureFile(right));
@@ -577,6 +639,37 @@ Result<Dataset> Executor::Eval(const Expr& expr, ExecutionReport* report,
     }
   }
   return Status::Internal("unhandled expression kind");
+}
+
+std::string Executor::PlanFingerprint(const Expr& expr) const {
+  if (!optimizer_on_) return "legacy";
+  switch (expr.kind) {
+    case Expr::Kind::kJoin: {
+      Result<Dataset> left = LookUp(expr.source, expr.line);
+      Result<Dataset> right = LookUp(expr.source_b, expr.line);
+      if (!left.ok() || !right.ok()) return "default";
+      if (left->kind != Dataset::Kind::kIndexed ||
+          right->kind != Dataset::Kind::kIndexed) {
+        return "default";
+      }
+      return optimizer::PlanJoin(runner_->cluster(), *left->info,
+                                 *right->info)
+          .decision.chosen;
+    }
+    case Expr::Kind::kRange:
+    case Expr::Kind::kCount: {
+      Result<Dataset> source = LookUp(expr.source, expr.line);
+      if (!source.ok() || source->kind != Dataset::Kind::kIndexed) {
+        return "default";
+      }
+      return optimizer::PlanRange(
+                 runner_->cluster(), *source->info, expr.range,
+                 expr.kind == Expr::Kind::kRange ? "range" : "count")
+          .decision.chosen;
+    }
+    default:
+      return "default";
+  }
 }
 
 }  // namespace shadoop::pigeon

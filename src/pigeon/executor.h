@@ -14,6 +14,7 @@
 #include "index/index_builder.h"
 #include "mapreduce/admission_controller.h"
 #include "mapreduce/job_runner.h"
+#include "optimizer/optimizer.h"
 #include "pigeon/ast.h"
 
 namespace shadoop::pigeon {
@@ -124,6 +125,25 @@ class Executor {
   }
   const std::string& tenant() const { return tenant_; }
 
+  /// Cost-based planning (DESIGN.md §15). On by default; `SET optimizer
+  /// off` pins every operation to the legacy hard-coded plan, reproducing
+  /// pre-optimizer rows, counters and charges byte-identically.
+  bool optimizer_enabled() const { return optimizer_on_; }
+
+  /// Every plan decision this session made, in execution order. EXPLAIN
+  /// renders the latest decision for its target as the `; plan:` segment.
+  const std::vector<optimizer::PlanDecision>& plan_log() const {
+    return plan_log_;
+  }
+
+  /// The plan the optimizer would pick for `expr` right now, as a short
+  /// token ("dj.l", "sjmr", "pruned", ...). "legacy" when the optimizer
+  /// is off, "default" for operations without costed alternatives (or
+  /// when the inputs cannot be resolved — the statement will fail with
+  /// its own error). The server folds this into its result-cache key so a
+  /// plan change invalidates structurally.
+  std::string PlanFingerprint(const Expr& expr) const;
+
  private:
   /// `bind_name` is the assignment target; INDEX and LOADINDEX register
   /// catalog datasets under it.
@@ -171,6 +191,8 @@ class Executor {
   std::string tenant_ = "default";
   std::unique_ptr<mapreduce::AdmissionController> owned_admission_;
   mapreduce::AdmissionController* admission_ = nullptr;
+  bool optimizer_on_ = true;
+  std::vector<optimizer::PlanDecision> plan_log_;
 };
 
 }  // namespace shadoop::pigeon

@@ -146,10 +146,17 @@ class Parser {
         if (stmt.target == "SNAPSHOT_VERSION" && stmt.number < 0) {
           return ErrorAt(knob, "snapshot_version must be >= 0");
         }
+      } else if (stmt.target == "OPTIMIZER") {
+        SHADOOP_ASSIGN_OR_RETURN(std::string mode, Keyword());
+        if (mode != "ON" && mode != "OFF") {
+          return ErrorAt(knob, "optimizer must be 'on' or 'off'");
+        }
+        stmt.path = mode == "ON" ? "on" : "off";
       } else {
         return ErrorAt(knob, "unknown session knob '" + knob.text +
                                  "' (expected tenant, tenant_slots, "
-                                 "max_task_attempts or snapshot_version)");
+                                 "max_task_attempts, snapshot_version or "
+                                 "optimizer)");
       }
     } else if (upper == "DUMP" || upper == "EXPLAIN") {
       Next();
@@ -206,8 +213,15 @@ class Parser {
       SHADOOP_ASSIGN_OR_RETURN(std::string with, Keyword());
       if (with != "WITH") return ErrorAt(op_token, "expected WITH");
       SHADOOP_ASSIGN_OR_RETURN(std::string scheme, Keyword());
-      SHADOOP_ASSIGN_OR_RETURN(expr.scheme,
-                               index::ParsePartitionScheme(scheme));
+      if (scheme == "AUTO") {
+        // The advisor picks the technique at execution time; STR is the
+        // fallback when the optimizer is off.
+        expr.auto_scheme = true;
+        expr.scheme = index::PartitionScheme::kStr;
+      } else {
+        SHADOOP_ASSIGN_OR_RETURN(expr.scheme,
+                                 index::ParsePartitionScheme(scheme));
+      }
       if (AcceptKeyword("INTO")) {
         SHADOOP_ASSIGN_OR_RETURN(Token path,
                                  Expect(TokenType::kString, "a path string"));

@@ -46,7 +46,7 @@ TEST(LintRegistry, ExposesEveryRule) {
   for (const char* expected :
        {"banned-clock", "banned-random", "unordered-iteration", "naked-mutex",
         "iostream-include", "banned-float-accum", "unstable-sort-before-emit",
-        "size-dependent-seed", "server-wall-clock"}) {
+        "size-dependent-seed", "server-wall-clock", "optimizer-wall-clock"}) {
     EXPECT_NE(std::find(ids.begin(), ids.end(), expected), ids.end())
         << "missing rule " << expected;
   }
@@ -363,6 +363,55 @@ TEST(ServerWallClock, AllowEscapeSuppresses) {
   EXPECT_TRUE(Lint("double w = r.wall_ms;  // lint:allow(server-wall-clock)\n",
                    "src/server/query_server.cc")
                   .empty());
+}
+
+// ---------------------------------------------------------------------------
+// optimizer-wall-clock (scoped to src/optimizer/)
+
+TEST(OptimizerWallClock, FiresOnStopwatchInOptimizerCode) {
+  EXPECT_TRUE(
+      HasRule(Lint("Stopwatch sw;\n", "src/optimizer/cost_model.cc"),
+              "optimizer-wall-clock"));
+  EXPECT_TRUE(HasRule(
+      Lint("double t = shadoop::Stopwatch().ElapsedMs();\n",
+           "src/optimizer/optimizer.cc"),
+      "optimizer-wall-clock"));
+}
+
+TEST(OptimizerWallClock, FiresOnWallMsInOptimizerCode) {
+  EXPECT_TRUE(HasRule(
+      Lint("cost.total_ms += result.wall_ms;\n",
+           "src/optimizer/partitioning_advisor.cc"),
+      "optimizer-wall-clock"));
+}
+
+TEST(OptimizerWallClock, QuietOutsideOptimizerTree) {
+  // The same tokens are legitimate elsewhere (bench wall-clock
+  // reporting, OpStats accumulation): the rule is scoped, not global.
+  EXPECT_TRUE(Lint("stats.wall_ms += result.wall_ms;\n",
+                   "src/core/op_stats.h")
+                  .empty());
+  EXPECT_TRUE(
+      Lint("Stopwatch sw;\n", "bench/bench_hotpath.cc").empty());
+}
+
+TEST(OptimizerWallClock, QuietOnSimulatedCostMath) {
+  EXPECT_TRUE(Lint("cost.total_ms = cluster.job_startup_ms + "
+                   "mapreduce::Makespan(tasks, cluster.num_slots);\n",
+                   "src/optimizer/cost_model.cc")
+                  .empty());
+  // Mentions in comments and strings never fire.
+  EXPECT_TRUE(Lint("// wall_ms never feeds a plan cost\n"
+                   "const char* doc = \"no Stopwatch in the optimizer\";\n",
+                   "src/optimizer/cost_model.cc")
+                  .empty());
+}
+
+TEST(OptimizerWallClock, AllowEscapeSuppresses) {
+  EXPECT_TRUE(
+      Lint("double w = r.wall_ms;  // lint:allow(optimizer-wall-clock)\n",
+           "src/optimizer/cost_model.cc")
+          .empty());
 }
 
 // ---------------------------------------------------------------------------

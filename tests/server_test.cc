@@ -208,6 +208,41 @@ TEST(QueryServerTest, AppendVersionBumpInvalidatesCacheKey) {
   EXPECT_EQ(repinned.result_cache_hits, 0);
 }
 
+TEST(QueryServerTest, PlanFingerprintChangeInvalidatesCacheKey) {
+  // The cache key carries the optimizer's plan token, so a session that
+  // flips the planner must never replay rows cached under a different
+  // physical plan — same text, different key.
+  testing::TestCluster cluster;
+  SeedIndexedDataset(&cluster, 500);
+  QueryServer server(&cluster.fs, SmallClusterOptions());
+  ASSERT_TRUE(server.AttachDataset("idx", "/pts_idx").ok());
+  const SessionId s1 = server.OpenSession().ValueOrDie();
+
+  const char* kCount =
+      "c = COUNT idx RECTANGLE(0, 0, 1000000, 1000000); DUMP c;";
+  const RequestResult planned = server.Execute(s1, kCount).ValueOrDie();
+  EXPECT_EQ(planned.rows, std::vector<std::string>{"500"});
+  EXPECT_EQ(planned.result_cache_misses, 1);
+
+  // Optimizer off: the plan token flips from "pruned" to "legacy", so
+  // the identical text misses instead of replaying the planned entry.
+  ASSERT_TRUE(server.Execute(s1, "SET optimizer off;").ok());
+  const RequestResult legacy = server.Execute(s1, kCount).ValueOrDie();
+  EXPECT_EQ(legacy.rows, std::vector<std::string>{"500"});
+  EXPECT_EQ(legacy.result_cache_hits, 0);
+  EXPECT_EQ(legacy.result_cache_misses, 1);
+
+  // Back on: the fingerprint is deterministic, so the original entry
+  // hits again — and a second session shares it.
+  ASSERT_TRUE(server.Execute(s1, "SET optimizer on;").ok());
+  const RequestResult replay = server.Execute(s1, kCount).ValueOrDie();
+  EXPECT_EQ(replay.result_cache_hits, 1);
+  const SessionId s2 = server.OpenSession().ValueOrDie();
+  const RequestResult shared = server.Execute(s2, kCount).ValueOrDie();
+  EXPECT_EQ(shared.rows, std::vector<std::string>{"500"});
+  EXPECT_EQ(shared.result_cache_hits, 1);
+}
+
 // ---------------------------------------------------------------------------
 // snapshot_version 0 semantics (the re-pin fix) and per-session pinning.
 

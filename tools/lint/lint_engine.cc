@@ -456,16 +456,18 @@ void SizeDependentSeedRule(const FileView& view, const RuleInfo& rule,
   }
 }
 
-/// Scoped to src/server/: the serving tier reports *simulated* latency
-/// (p50/p99 of modeled JobCost time), and a single wall-clock read
-/// leaking into that math would make every saturation benchmark
-/// machine-dependent. Stopwatch and the wall_ms fields are legitimate
-/// elsewhere (bench harness wall-clock reporting); here they are banned
-/// outright. Blanked string literals mean a quoted #include path cannot
-/// be matched, but using a Stopwatch or reading a wall_ms field always
-/// names the token in code, which is what fires.
-void ServerWallClockRule(const FileView& view, const RuleInfo& rule,
-                         std::vector<Finding>* findings) {
+/// Path-scoped wall-clock token ban, shared by the serving tier and the
+/// optimizer: src/server/ reports *simulated* latency (p50/p99 of
+/// modeled JobCost time) and src/optimizer/ prices plans from simulated
+/// charges only, so a single wall-clock read leaking into either would
+/// make saturation benchmarks and plan choices machine-dependent.
+/// Stopwatch and the wall_ms fields are legitimate elsewhere (bench
+/// harness wall-clock reporting); here they are banned outright. Blanked
+/// string literals mean a quoted #include path cannot be matched, but
+/// using a Stopwatch or reading a wall_ms field always names the token
+/// in code, which is what fires.
+void WallClockTokenRule(const FileView& view, const RuleInfo& rule,
+                        std::vector<Finding>* findings) {
   static const char* kTokens[] = {"Stopwatch", "wall_ms"};
   for (size_t i = 0; i < view.code.size(); ++i) {
     for (const char* token : kTokens) {
@@ -538,7 +540,14 @@ const std::vector<RuleImpl>& RuleRegistry() {
         "p50/p99 reproduce across machines and reruns"},
        {},
        {"src/server/"},
-       &ServerWallClockRule},
+       &WallClockTokenRule},
+      {{"optimizer-wall-clock",
+        "wall-clock artifact in the planner; src/optimizer/ prices plans "
+        "from simulated charges only — Stopwatch and wall_ms stay out so "
+        "identical inputs pick identical plans on every machine"},
+       {},
+       {"src/optimizer/"},
+       &WallClockTokenRule},
   };
   return *kRules;
 }
