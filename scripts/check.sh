@@ -13,8 +13,10 @@
 # Use this before sending a change for review; the plain `build/` tree
 # stays untouched for fast iteration.
 #
-# Usage: scripts/check.sh [--lint-only|--tsan-only] [asan-dir] [tsan-dir]
-#        (defaults: build-asan build-tsan)
+# Usage: scripts/check.sh [--lint-only|--analyze-only|--tsan-only]
+#        [asan-dir] [tsan-dir]   (defaults: build-asan build-tsan)
+#        --analyze-only runs just the cross-TU analyzer phase
+#        (scripts/lint.sh --analyze-only, DESIGN.md §16).
 #
 # Environment:
 #   JOBS   parallelism for builds and ctest (default: nproc). CI runners
@@ -24,6 +26,8 @@
 #   0   clean
 #   30  lint phase failed (scripts/lint.sh: determinism lint findings,
 #       clang-tidy errors, or -Werror=thread-safety errors)
+#   40  cross-TU analyzer phase failed (determinism-taint/layering
+#       findings or a stale baseline; scripts/lint.sh phase 4)
 #   10  ASan/UBSan phase failed (build or tests)
 #   20  TSan phase failed (build or tests)
 #   2   usage error
@@ -39,10 +43,17 @@ if [[ "${1:-}" == "--tsan-only" ]]; then
 elif [[ "${1:-}" == "--lint-only" ]]; then
   LINT_ONLY=1
   shift
+elif [[ "${1:-}" == "--analyze-only" ]]; then
+  if ! scripts/lint.sh --analyze-only; then
+    echo "check.sh: analyzer phase FAILED" >&2
+    exit 40
+  fi
+  echo "check.sh: analyzer phase passed (--analyze-only)"
+  exit 0
 fi
 if [[ "${1:-}" == --* ]]; then
   echo "check.sh: unknown flag '$1'" >&2
-  echo "usage: scripts/check.sh [--lint-only|--tsan-only] [asan-dir] [tsan-dir]" >&2
+  echo "usage: scripts/check.sh [--lint-only|--analyze-only|--tsan-only] [asan-dir] [tsan-dir]" >&2
   exit 2
 fi
 
@@ -92,7 +103,12 @@ tsan_phase() {
 # Lint runs first: it is seconds where the sanitizer trees are minutes,
 # so a banned pattern or lock-discipline break fails fast.
 if [[ "${TSAN_ONLY}" -eq 0 ]]; then
-  if ! scripts/lint.sh; then
+  scripts/lint.sh
+  lint_code=$?
+  if [[ "${lint_code}" -eq 40 ]]; then
+    echo "check.sh: analyzer phase FAILED" >&2
+    exit 40
+  elif [[ "${lint_code}" -ne 0 ]]; then
     echo "check.sh: lint phase FAILED" >&2
     exit 30
   fi

@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
-# Static-analysis driver (DESIGN.md §11) — three phases, fastest first:
+# Static-analysis driver (DESIGN.md §11, §16) — four phases, fastest
+# first:
 #
 #   1. determinism lint: builds tools/lint (spatial_lint) and runs it
-#      over src/. Repo-specific banned patterns: stray clocks, ambient
-#      RNG, unordered-container iteration, naked std::mutex, <iostream>
-#      in library code. Findings print as file:line: rule-id: message.
+#      over src/ + tools/ + bench/. Repo-specific banned patterns: stray
+#      clocks, ambient RNG, unordered-container iteration, naked
+#      std::mutex, <iostream> in library code. Findings print as
+#      file:line: rule-id: message.
 #   2. clang-tidy (skipped with a notice when not installed): the tuned
 #      .clang-tidy profile over every .cc under src/, using the compile
 #      database exported by phase 1's build tree. concurrency-* findings
@@ -14,12 +16,18 @@
 #      -DSPATIAL_THREAD_SAFETY=ON, i.e. -Wthread-safety
 #      -Werror=thread-safety over the annotated lock discipline in
 #      common/thread_annotations.h.
+#   4. cross-TU analyzer: builds tools/analyze (spatial_analyze) and
+#      runs the determinism-taint + layering analyses over src/ +
+#      tools/ + bench/ against the checked-in baseline, writing the
+#      call-chain report to <lint-build-dir>/analysis_report.txt (CI
+#      uploads it as an artifact on failure).
 #
-# The CI `lint` job installs clang so all three phases run and block;
-# locally on a gcc-only box you still get phase 1, which is the
-# repo-specific half no other tool provides.
+# The CI `lint` job installs clang so phases 1-3 run and block; the
+# separate `analysis` job runs phase 4 via --analyze-only. Locally on a
+# gcc-only box you still get phases 1 and 4, the repo-specific halves
+# no other tool provides.
 #
-# Usage: scripts/lint.sh [lint-build-dir] [thread-safety-build-dir]
+# Usage: scripts/lint.sh [--analyze-only] [lint-build-dir] [tsafety-build-dir]
 #        (defaults: build-lint build-tsafety)
 #
 # Environment:
@@ -28,14 +36,21 @@
 # Exit codes (CI maps these to named annotations):
 #   0   clean (skipped phases count as clean)
 #   30  a lint phase failed (findings, tidy errors, or analysis errors)
+#   40  the cross-TU analyzer phase failed (taint/layering findings or
+#       a stale baseline)
 #   2   usage error
 set -uo pipefail
 
 cd "$(dirname "$0")/.."
 
+ANALYZE_ONLY=0
+if [[ "${1:-}" == "--analyze-only" ]]; then
+  ANALYZE_ONLY=1
+  shift
+fi
 if [[ "${1:-}" == --* ]]; then
   echo "lint.sh: unknown flag '$1'" >&2
-  echo "usage: scripts/lint.sh [lint-build-dir] [tsafety-build-dir]" >&2
+  echo "usage: scripts/lint.sh [--analyze-only] [lint-build-dir] [tsafety-build-dir]" >&2
   exit 2
 fi
 
@@ -43,18 +58,49 @@ BUILD_DIR="${1:-build-lint}"
 TSAFETY_DIR="${2:-build-tsafety}"
 JOBS="${JOBS:-$(nproc)}"
 
+configure_build_dir() {
+  cmake -B "${BUILD_DIR}" -S . \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
+}
+
+analyzer_phase() {
+  echo "lint.sh: [4/4] cross-TU analyzer (tools/analyze) over src/ tools/ bench/"
+  if ! configure_build_dir ||
+     ! cmake --build "${BUILD_DIR}" -j "${JOBS}" --target spatial_analyze \
+         > /dev/null; then
+    echo "lint.sh: FAILED to build spatial_analyze" >&2
+    return 1
+  fi
+  if ! "${BUILD_DIR}/tools/analyze/spatial_analyze" \
+         --baseline tools/analyze/analysis_baseline.txt \
+         --report "${BUILD_DIR}/analysis_report.txt" \
+         src tools bench; then
+    echo "lint.sh: cross-TU analysis FAILED" >&2
+    echo "lint.sh: call-chain report: ${BUILD_DIR}/analysis_report.txt" >&2
+    return 1
+  fi
+  return 0
+}
+
+if [[ "${ANALYZE_ONLY}" -eq 1 ]]; then
+  if ! analyzer_phase; then
+    exit 40
+  fi
+  echo "lint.sh: analyzer phase passed (--analyze-only)"
+  exit 0
+fi
+
 # -- Phase 1: determinism lint ------------------------------------------
 
-echo "lint.sh: [1/3] determinism lint (tools/lint) over src/"
-if ! cmake -B "${BUILD_DIR}" -S . \
-       -DCMAKE_BUILD_TYPE=Debug \
-       -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null ||
+echo "lint.sh: [1/4] determinism lint (tools/lint) over src/ tools/ bench/"
+if ! configure_build_dir ||
    ! cmake --build "${BUILD_DIR}" -j "${JOBS}" --target spatial_lint \
        > /dev/null; then
   echo "lint.sh: FAILED to build spatial_lint" >&2
   exit 30
 fi
-if ! "${BUILD_DIR}/tools/lint/spatial_lint" src; then
+if ! "${BUILD_DIR}/tools/lint/spatial_lint" src tools bench; then
   echo "lint.sh: determinism lint FAILED" >&2
   exit 30
 fi
@@ -62,7 +108,7 @@ fi
 # -- Phase 2: clang-tidy ------------------------------------------------
 
 if command -v clang-tidy > /dev/null; then
-  echo "lint.sh: [2/3] clang-tidy over src/ (.clang-tidy profile)"
+  echo "lint.sh: [2/4] clang-tidy over src/ (.clang-tidy profile)"
   mapfile -t tidy_sources < <(find src -name '*.cc' | sort)
   if ! printf '%s\n' "${tidy_sources[@]}" |
        xargs -P "${JOBS}" -n 4 clang-tidy -p "${BUILD_DIR}" --quiet; then
@@ -70,13 +116,13 @@ if command -v clang-tidy > /dev/null; then
     exit 30
   fi
 else
-  echo "lint.sh: [2/3] clang-tidy not installed — phase skipped"
+  echo "lint.sh: [2/4] clang-tidy not installed — phase skipped"
 fi
 
 # -- Phase 3: Clang thread-safety build ---------------------------------
 
 if command -v clang++ > /dev/null; then
-  echo "lint.sh: [3/3] clang++ -Wthread-safety build of src/ libraries"
+  echo "lint.sh: [3/4] clang++ -Wthread-safety build of src/ libraries"
   if ! cmake -B "${TSAFETY_DIR}" -S . \
          -DCMAKE_BUILD_TYPE=Debug \
          -DCMAKE_CXX_COMPILER=clang++ \
@@ -89,7 +135,13 @@ if command -v clang++ > /dev/null; then
     exit 30
   fi
 else
-  echo "lint.sh: [3/3] clang++ not installed — phase skipped"
+  echo "lint.sh: [3/4] clang++ not installed — phase skipped"
+fi
+
+# -- Phase 4: cross-TU analyzer -----------------------------------------
+
+if ! analyzer_phase; then
+  exit 40
 fi
 
 echo "lint.sh: all lint phases passed"

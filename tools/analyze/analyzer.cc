@@ -1,0 +1,683 @@
+#include "analyze/analyzer.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace shadoop::analyze {
+namespace {
+
+using lint::Finding;
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Whole-token occurrences of `token` in `line` (same contract as the
+/// lint engine: an adjacent identifier character rejects the match).
+std::vector<size_t> TokenHits(const std::string& line,
+                              std::string_view token) {
+  std::vector<size_t> hits;
+  size_t pos = 0;
+  while ((pos = line.find(token, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !IsIdentChar(line[pos - 1]);
+    const size_t end = pos + token.size();
+    const bool right_ok = end >= line.size() || !IsIdentChar(line[end]);
+    if (left_ok && right_ok) hits.push_back(pos);
+    pos = end;
+  }
+  return hits;
+}
+
+/// Non-member C-style calls `name(` — `sw.time()` is some other API.
+bool HasFreeCall(const std::string& line, std::string_view name) {
+  for (size_t pos : TokenHits(line, name)) {
+    if (pos > 0 && (line[pos - 1] == '.' ||
+                    (line[pos - 1] == '>' && pos > 1 &&
+                     line[pos - 2] == '-'))) {
+      continue;
+    }
+    size_t i = pos + name.size();
+    while (i < line.size() && line[i] == ' ') ++i;
+    if (i < line.size() && line[i] == '(') return true;
+  }
+  return false;
+}
+
+/// `// lint:allow(a, b)` and `// analyze:allow(a, b)` ids on one line.
+std::set<std::string> AllowedIds(const std::string& raw_line) {
+  std::set<std::string> allowed;
+  for (std::string_view marker : {"lint:allow(", "analyze:allow("}) {
+    size_t pos = 0;
+    while ((pos = raw_line.find(marker, pos)) != std::string::npos) {
+      size_t i = pos + marker.size();
+      std::string id;
+      for (; i < raw_line.size() && raw_line[i] != ')'; ++i) {
+        const char c = raw_line[i];
+        if (c == ',') {
+          if (!id.empty()) allowed.insert(id);
+          id.clear();
+        } else if (!std::isspace(static_cast<unsigned char>(c))) {
+          id.push_back(c);
+        }
+      }
+      if (!id.empty()) allowed.insert(id);
+      pos = i;
+    }
+  }
+  return allowed;
+}
+
+// ---------------------------------------------------------------------------
+// Taint configuration (DESIGN.md §16.2)
+
+/// Modules whose functions are the query path: everything a Pigeon
+/// statement, a server request, or a direct op call executes. Any
+/// function defined here is a taint root; anything those reach by call
+/// is on the query path transitively.
+const char* const kEntryModules[] = {"core", "catalog", "optimizer",
+                                     "pigeon", "server"};
+
+struct SinkSpec {
+  const char* kind;        // Stable half of the baseline key.
+  const char* lint_alias;  // Legacy lint rule id honored in escapes.
+  std::vector<const char*> tokens;
+  std::vector<const char*> calls;
+  /// Paths where this sink class is legal: suffix entries match file
+  /// tails, entries ending in '/' match directories anywhere in the
+  /// path. The wall-clock sinks are legal inside the Stopwatch wrapper
+  /// itself and in the bench harness (whose whole point is wall time);
+  /// the seeded-RNG engine is legal inside common/random only.
+  std::vector<const char*> allowed_paths;
+};
+
+const std::vector<SinkSpec>& SinkSpecs() {
+  static const std::vector<SinkSpec>* kSpecs = new std::vector<SinkSpec>{
+      {"wall-clock",
+       "banned-clock",
+       {"Stopwatch", "wall_ms", "system_clock", "steady_clock",
+        "high_resolution_clock", "gettimeofday", "clock_gettime",
+        "localtime", "gmtime"},
+       {"time", "clock"},
+       {"common/stopwatch.h", "bench/"}},
+      {"nondet-seed",
+       "banned-random",
+       {"random_device", "mt19937", "mt19937_64", "default_random_engine",
+        "minstd_rand", "minstd_rand0", "ranlux24", "ranlux48"},
+       {"rand", "srand", "drand48", "random"},
+       {"common/random.h", "common/random.cc", "bench/"}},
+      {"unordered-iteration",
+       "unordered-iteration",
+       {},  // Structural detection, see UnorderedIterationHits().
+       {},
+       {}},
+  };
+  return *kSpecs;
+}
+
+bool PathAllowed(const std::string& repo_path, const SinkSpec& spec) {
+  for (const char* entry : spec.allowed_paths) {
+    const std::string_view e(entry);
+    if (!e.empty() && e.back() == '/') {
+      if (repo_path.find(e) != std::string::npos ||
+          repo_path.rfind(e, 0) == 0) {
+        return true;
+      }
+    } else if (EndsWith(repo_path, e)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+struct SinkHit {
+  std::string kind;
+  std::string token;
+  int line = 0;
+};
+
+/// Names declared with an unordered container type anywhere in the
+/// file (template arguments may span lines; scan the joined text).
+std::vector<std::string> UnorderedNames(const FileInfo& file) {
+  std::string text;
+  for (const std::string& line : file.code) {
+    text += line;
+    text += '\n';
+  }
+  std::vector<std::string> names;
+  for (std::string_view token : {"unordered_map", "unordered_set",
+                                 "unordered_multimap", "unordered_multiset"}) {
+    size_t pos = 0;
+    while ((pos = text.find(token, pos)) != std::string::npos) {
+      const size_t start = pos;
+      pos += token.size();
+      if (start > 0 && IsIdentChar(text[start - 1])) continue;
+      size_t i = pos;
+      while (i < text.size() &&
+             std::isspace(static_cast<unsigned char>(text[i]))) {
+        ++i;
+      }
+      if (i >= text.size() || text[i] != '<') continue;
+      int depth = 0;
+      for (; i < text.size(); ++i) {
+        if (text[i] == '<') ++depth;
+        if (text[i] == '>' && --depth == 0) {
+          ++i;
+          break;
+        }
+      }
+      while (i < text.size() &&
+             (std::isspace(static_cast<unsigned char>(text[i])) ||
+              text[i] == '&' || text[i] == '*')) {
+        ++i;
+      }
+      std::string name;
+      while (i < text.size() && IsIdentChar(text[i])) name.push_back(text[i++]);
+      if (!name.empty()) names.push_back(name);
+    }
+  }
+  return names;
+}
+
+/// Hash-order leaks only: a range-for over an unordered name, or an
+/// explicit `.begin()` / `.cbegin()` iterator walk. Point lookups
+/// (`find`, `count`, `.end()` comparisons) are order-independent.
+std::vector<size_t> UnorderedIterationHits(
+    const std::string& line, const std::vector<std::string>& names) {
+  std::vector<size_t> hits;
+  for (const std::string& name : names) {
+    for (size_t pos : TokenHits(line, name)) {
+      size_t j = pos + name.size();
+      while (j < line.size() && line[j] == ' ') ++j;
+      if (j < line.size() && line[j] == '.') {
+        ++j;
+        while (j < line.size() && line[j] == ' ') ++j;
+        for (std::string_view it : {"begin", "cbegin"}) {
+          if (line.compare(j, it.size(), it) == 0) {
+            size_t k = j + it.size();
+            while (k < line.size() && line[k] == ' ') ++k;
+            if (k < line.size() && line[k] == '(') hits.push_back(pos);
+            break;
+          }
+        }
+      }
+      size_t before = pos;
+      while (before > 0 && line[before - 1] == ' ') --before;
+      const bool colon_before = before > 0 && line[before - 1] == ':' &&
+                                (before < 2 || line[before - 2] != ':');
+      size_t after = pos + name.size();
+      while (after < line.size() && line[after] == ' ') ++after;
+      const bool paren_after = after < line.size() && line[after] == ')';
+      if (colon_before && paren_after && !TokenHits(line, "for").empty()) {
+        hits.push_back(pos);
+      }
+    }
+  }
+  return hits;
+}
+
+/// All sink hits on lines [begin, end] (1-based, inclusive) of `file`,
+/// after per-line escapes and per-path allowlists.
+std::vector<SinkHit> ScanRange(const FileInfo& file,
+                               const std::vector<std::string>& unordered_names,
+                               int begin, int end) {
+  std::vector<SinkHit> hits;
+  begin = std::max(begin, 1);
+  end = std::min(end, static_cast<int>(file.code.size()));
+  for (int lineno = begin; lineno <= end; ++lineno) {
+    const std::string& line = file.code[static_cast<size_t>(lineno) - 1];
+    const std::string& raw = file.raw[static_cast<size_t>(lineno) - 1];
+    const std::set<std::string> allowed = AllowedIds(raw);
+    for (const SinkSpec& spec : SinkSpecs()) {
+      if (PathAllowed(file.repo_path, spec)) continue;
+      if (allowed.count(spec.kind) > 0 || allowed.count(spec.lint_alias) > 0 ||
+          allowed.count("determinism-taint") > 0) {
+        continue;
+      }
+      std::string token;
+      for (const char* t : spec.tokens) {
+        if (!TokenHits(line, t).empty()) {
+          token = t;
+          break;
+        }
+      }
+      if (token.empty()) {
+        for (const char* c : spec.calls) {
+          if (HasFreeCall(line, c)) {
+            token = std::string(c) + "()";
+            break;
+          }
+        }
+      }
+      if (token.empty() && std::string_view(spec.kind) == "unordered-iteration" &&
+          !UnorderedIterationHits(line, unordered_names).empty()) {
+        token = "hash-order iteration";
+      }
+      if (!token.empty()) hits.push_back({spec.kind, token, lineno});
+    }
+  }
+  return hits;
+}
+
+// ---------------------------------------------------------------------------
+// Layer DAG (DESIGN.md §16.3). A module may include itself and strictly
+// lower layers; peer (same-rank) and upward includes invert the
+// architecture and are findings. Files outside src/ (tools, bench,
+// tests, examples) sit on the implicit application layer above
+// everything: they may include any src module, and no src module may
+// include them.
+
+const std::map<std::string, int>& LayerRanks() {
+  static const std::map<std::string, int>* kRanks =
+      new std::map<std::string, int>{
+          {"common", 0},    {"fault", 0},   {"simd", 0}, {"geometry", 1},
+          {"hdfs", 1},      {"mapreduce", 2}, {"index", 3}, {"core", 4},
+          {"workload", 4},  {"catalog", 5}, {"viz", 5},  {"optimizer", 6},
+          {"pigeon", 7},    {"server", 8},
+      };
+  return *kRanks;
+}
+
+constexpr int kAppRank = 100;
+
+std::string ChainName(const FunctionInfo& fn) {
+  return fn.qualified.empty() ? fn.name : fn.qualified;
+}
+
+}  // namespace
+
+Analyzer::Analyzer() {
+  rules_ = {
+      {"determinism-taint",
+       "a query-path function transitively reaches a wall-clock read, "
+       "nondeterministic seed, or unordered-container iteration outside "
+       "the allowlisted modules; the message prints the full call chain "
+       "— fix the sink, or baseline it with the printed key"},
+      {"layer-violation",
+       "an #include crosses the declared layer DAG upward or sideways "
+       "(e.g. src/core including src/server); lower layers must not "
+       "depend on higher or peer layers"},
+      {"layer-undeclared",
+       "a src/ module is missing from the declared layer DAG; rank it in "
+       "tools/analyze/analyzer.cc and the DESIGN.md §16.3 table"},
+      {"include-cycle",
+       "project headers include each other in a cycle; break the cycle "
+       "with a forward declaration or an interface split"},
+      {"stale-baseline",
+       "a baseline entry matches no current finding; delete the entry so "
+       "the baseline stays an exact inventory of real exceptions"},
+  };
+}
+
+void Analyzer::LoadBaseline(std::string_view path, std::string_view contents) {
+  baseline_path_ = RepoRelative(path);
+  int lineno = 0;
+  size_t start = 0;
+  const std::string text(contents);
+  while (start <= text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    std::string line = text.substr(start, end - start);
+    start = end + 1;
+    ++lineno;
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    std::istringstream in(line);
+    BaselineEntry entry;
+    entry.line = lineno;
+    if (!(in >> entry.rule)) continue;  // Blank / comment-only line.
+    in >> entry.key;                    // Empty key => malformed, kept.
+    baseline_.push_back(std::move(entry));
+  }
+}
+
+std::vector<lint::Finding> Analyzer::Run() const {
+  const std::vector<FileInfo>& files = index_.files();
+  const std::vector<FunctionInfo>& functions = index_.functions();
+
+  // Keyed findings: the key is what the baseline file matches against.
+  std::vector<std::pair<Finding, std::string>> keyed;
+
+  // -- 1. Sink collection ---------------------------------------------------
+
+  std::vector<std::vector<SinkHit>> fn_sinks(functions.size());
+  std::vector<std::vector<SinkHit>> file_scope_sinks(files.size());
+  std::set<std::string> entry_modules;
+  for (const char* m : kEntryModules) entry_modules.insert(m);
+
+  for (size_t fi = 0; fi < files.size(); ++fi) {
+    const FileInfo& file = files[fi];
+    const std::vector<std::string> unordered_names = UnorderedNames(file);
+    std::vector<bool> covered(file.code.size() + 1, false);
+    for (int fid : file.functions) {
+      const FunctionInfo& fn = functions[static_cast<size_t>(fid)];
+      fn_sinks[static_cast<size_t>(fid)] =
+          ScanRange(file, unordered_names, fn.line, fn.body_end);
+      for (int l = fn.line; l <= fn.body_end &&
+                            l <= static_cast<int>(file.code.size());
+           ++l) {
+        covered[static_cast<size_t>(l)] = true;
+      }
+    }
+    // File-scope lines (field declarations, globals) have no caller, so
+    // reachability cannot see them; flag them directly — but only in
+    // query-path modules, mirroring the taint roots.
+    if (file.in_src && entry_modules.count(file.module) > 0) {
+      for (int l = 1; l <= static_cast<int>(file.code.size()); ++l) {
+        if (covered[static_cast<size_t>(l)]) continue;
+        std::vector<SinkHit> hits = ScanRange(file, unordered_names, l, l);
+        file_scope_sinks[fi].insert(file_scope_sinks[fi].end(), hits.begin(),
+                                    hits.end());
+      }
+    }
+  }
+
+  // -- 2. Call graph + reachability from the query-path entries -------------
+
+  std::map<std::string, std::vector<int>> by_name;
+  std::map<std::string, std::vector<int>> by_qualified;
+  for (size_t i = 0; i < functions.size(); ++i) {
+    by_name[functions[i].name].push_back(static_cast<int>(i));
+    if (!functions[i].qualified.empty()) {
+      by_qualified[functions[i].qualified].push_back(static_cast<int>(i));
+    }
+  }
+
+  std::vector<std::vector<int>> callees(functions.size());
+  for (size_t i = 0; i < functions.size(); ++i) {
+    std::set<int> out;
+    for (const CallSite& call : functions[i].calls) {
+      const std::vector<int>* targets = nullptr;
+      if (!call.qualified.empty()) {
+        auto it = by_qualified.find(call.qualified);
+        if (it != by_qualified.end()) targets = &it->second;
+      }
+      if (targets == nullptr) {
+        auto it = by_name.find(call.name);
+        if (it != by_name.end()) targets = &it->second;
+      }
+      if (targets == nullptr) continue;
+      for (int t : *targets) {
+        if (t != static_cast<int>(i)) out.insert(t);
+      }
+    }
+    callees[i].assign(out.begin(), out.end());
+  }
+
+  std::vector<int> dist(functions.size(), -1);
+  std::vector<int> parent(functions.size(), -1);
+  std::deque<int> queue;
+  for (size_t i = 0; i < functions.size(); ++i) {
+    const FileInfo& file = files[static_cast<size_t>(functions[i].file)];
+    if (file.in_src && entry_modules.count(file.module) > 0) {
+      dist[i] = 0;
+      queue.push_back(static_cast<int>(i));
+    }
+  }
+  while (!queue.empty()) {
+    const int cur = queue.front();
+    queue.pop_front();
+    for (int next : callees[static_cast<size_t>(cur)]) {
+      if (dist[static_cast<size_t>(next)] >= 0) continue;
+      dist[static_cast<size_t>(next)] = dist[static_cast<size_t>(cur)] + 1;
+      parent[static_cast<size_t>(next)] = cur;
+      queue.push_back(next);
+    }
+  }
+
+  // -- 3. Taint findings ----------------------------------------------------
+
+  for (size_t i = 0; i < functions.size(); ++i) {
+    if (dist[i] < 0 || fn_sinks[i].empty()) continue;
+    const FunctionInfo& fn = functions[i];
+    const FileInfo& file = files[static_cast<size_t>(fn.file)];
+    // One finding per sink kind in this function.
+    std::map<std::string, std::vector<const SinkHit*>> by_kind;
+    for (const SinkHit& hit : fn_sinks[i]) by_kind[hit.kind].push_back(&hit);
+    for (const auto& [kind, hits] : by_kind) {
+      std::vector<std::string> chain;
+      for (int cur = static_cast<int>(i); cur >= 0;
+           cur = parent[static_cast<size_t>(cur)]) {
+        chain.push_back(ChainName(functions[static_cast<size_t>(cur)]));
+      }
+      std::reverse(chain.begin(), chain.end());
+      std::ostringstream msg;
+      msg << kind << " sink '" << hits.front()->token << "' ("
+          << hits.size() << " site" << (hits.size() == 1 ? "" : "s")
+          << ") reachable from the query path; call chain: ";
+      const FunctionInfo& entry_fn =
+          functions[static_cast<size_t>([&] {
+            int cur = static_cast<int>(i);
+            while (parent[static_cast<size_t>(cur)] >= 0) {
+              cur = parent[static_cast<size_t>(cur)];
+            }
+            return cur;
+          }())];
+      const FileInfo& entry_file =
+          files[static_cast<size_t>(entry_fn.file)];
+      for (size_t c = 0; c < chain.size(); ++c) {
+        if (c > 0) msg << " -> ";
+        msg << chain[c];
+      }
+      msg << " [entry " << entry_file.repo_path << ":" << entry_fn.line
+          << ", sink " << file.repo_path << ":" << hits.front()->line << "]";
+      const std::string key = kind + (":" + fn.qualified);
+      msg << "; baseline key '" << key << "'";
+      keyed.push_back({Finding{file.repo_path, hits.front()->line,
+                               "determinism-taint", msg.str()},
+                       key});
+    }
+  }
+
+  for (size_t fi = 0; fi < files.size(); ++fi) {
+    if (file_scope_sinks[fi].empty()) continue;
+    const FileInfo& file = files[fi];
+    std::map<std::string, std::vector<const SinkHit*>> by_kind;
+    for (const SinkHit& hit : file_scope_sinks[fi]) {
+      by_kind[hit.kind].push_back(&hit);
+    }
+    for (const auto& [kind, hits] : by_kind) {
+      std::ostringstream msg;
+      msg << kind << " sink '" << hits.front()->token << "' (" << hits.size()
+          << " site" << (hits.size() == 1 ? "" : "s")
+          << ") at file scope in query-path module '" << file.module << "'";
+      const std::string key = kind + ":file:" + file.repo_path;
+      msg << "; baseline key '" << key << "'";
+      keyed.push_back({Finding{file.repo_path, hits.front()->line,
+                               "determinism-taint", msg.str()},
+                       key});
+    }
+  }
+
+  // -- 4. Layering ----------------------------------------------------------
+
+  const std::map<std::string, int>& ranks = LayerRanks();
+  std::set<std::string> undeclared_reported;
+  std::vector<std::vector<int>> include_graph(files.size());
+  std::vector<std::vector<int>> include_lines(files.size());
+
+  for (size_t fi = 0; fi < files.size(); ++fi) {
+    const FileInfo& file = files[fi];
+    for (const IncludeEdge& edge : file.includes) {
+      const int target = index_.ResolveInclude(static_cast<int>(fi), edge);
+      if (target < 0) continue;
+      include_graph[fi].push_back(target);
+      include_lines[fi].push_back(edge.line);
+      if (!file.in_src) continue;  // Apps may include anything.
+      const FileInfo& dst = files[static_cast<size_t>(target)];
+      if (dst.module == file.module && dst.in_src == file.in_src) continue;
+      auto src_rank = ranks.find(file.module);
+      if (src_rank == ranks.end()) {
+        if (undeclared_reported.insert(file.module).second) {
+          keyed.push_back(
+              {Finding{file.repo_path, edge.line, "layer-undeclared",
+                       "src module '" + file.module +
+                           "' is not ranked in the layer DAG (DESIGN.md "
+                           "§16.3); declare it in tools/analyze/analyzer.cc"},
+               "module:" + file.module});
+        }
+        continue;
+      }
+      int dst_rank = kAppRank;
+      std::string dst_layer = "application layer";
+      if (dst.in_src) {
+        auto it = ranks.find(dst.module);
+        if (it == ranks.end()) {
+          if (undeclared_reported.insert(dst.module).second) {
+            keyed.push_back(
+                {Finding{dst.repo_path, 1, "layer-undeclared",
+                         "src module '" + dst.module +
+                             "' is not ranked in the layer DAG (DESIGN.md "
+                             "§16.3); declare it in tools/analyze/analyzer.cc"},
+                 "module:" + dst.module});
+          }
+          continue;
+        }
+        dst_rank = it->second;
+        dst_layer = "layer " + std::to_string(dst_rank);
+      }
+      if (dst_rank < src_rank->second) continue;
+      std::ostringstream msg;
+      msg << "layer order violated: " << file.module << " (layer "
+          << src_rank->second << ") -> " << dst.module << " (" << dst_layer
+          << ") via include \"" << edge.spec << "\" of " << dst.repo_path
+          << "; a module may include only strictly lower layers";
+      const std::string key = file.module + "->" + dst.module;
+      msg << "; baseline key '" << key << "'";
+      keyed.push_back(
+          {Finding{file.repo_path, edge.line, "layer-violation", msg.str()},
+           key});
+    }
+  }
+
+  // -- 5. Include cycles ----------------------------------------------------
+
+  {
+    std::vector<int> color(files.size(), 0);  // 0 white, 1 gray, 2 black.
+    std::vector<int> path;
+    std::set<std::string> seen_cycles;
+    // Recursive DFS via explicit stack of (node, next-child-index).
+    for (size_t start = 0; start < files.size(); ++start) {
+      if (color[start] != 0) continue;
+      std::vector<std::pair<int, size_t>> stack{{static_cast<int>(start), 0}};
+      color[start] = 1;
+      path.push_back(static_cast<int>(start));
+      while (!stack.empty()) {
+        auto& [node, child] = stack.back();
+        if (child >= include_graph[static_cast<size_t>(node)].size()) {
+          color[static_cast<size_t>(node)] = 2;
+          path.pop_back();
+          stack.pop_back();
+          continue;
+        }
+        const int next = include_graph[static_cast<size_t>(node)][child++];
+        if (color[static_cast<size_t>(next)] == 1) {
+          // Found a cycle: path from `next` to `node`, then back.
+          std::vector<int> cycle;
+          bool in_cycle = false;
+          for (int p : path) {
+            if (p == next) in_cycle = true;
+            if (in_cycle) cycle.push_back(p);
+          }
+          // Canonicalize: rotate so the lexicographically smallest
+          // repo path leads, so the finding is stable.
+          size_t min_at = 0;
+          for (size_t c = 1; c < cycle.size(); ++c) {
+            if (files[static_cast<size_t>(cycle[c])].repo_path <
+                files[static_cast<size_t>(cycle[min_at])].repo_path) {
+              min_at = c;
+            }
+          }
+          std::rotate(cycle.begin(), cycle.begin() + static_cast<long>(min_at),
+                      cycle.end());
+          std::ostringstream chain;
+          for (int c : cycle) {
+            chain << files[static_cast<size_t>(c)].repo_path << " -> ";
+          }
+          chain << files[static_cast<size_t>(cycle.front())].repo_path;
+          const std::string key =
+              "cycle:" + files[static_cast<size_t>(cycle.front())].repo_path;
+          if (seen_cycles.insert(chain.str()).second) {
+            // Anchor the finding on the first edge of the canonical
+            // cycle so it is clickable.
+            const int head = cycle.front();
+            const int second =
+                cycle.size() > 1 ? cycle[1] : cycle.front();
+            int line = 1;
+            const auto& outs = include_graph[static_cast<size_t>(head)];
+            for (size_t e = 0; e < outs.size(); ++e) {
+              if (outs[e] == second) {
+                line = include_lines[static_cast<size_t>(head)][e];
+                break;
+              }
+            }
+            keyed.push_back(
+                {Finding{files[static_cast<size_t>(head)].repo_path, line,
+                         "include-cycle",
+                         "include cycle: " + chain.str() +
+                             "; baseline key '" + key + "'"},
+                 key});
+          }
+        } else if (color[static_cast<size_t>(next)] == 0) {
+          color[static_cast<size_t>(next)] = 1;
+          path.push_back(next);
+          stack.push_back({next, 0});
+        }
+      }
+    }
+  }
+
+  // -- 6. Baseline subtraction + stale entries ------------------------------
+
+  std::vector<bool> used(baseline_.size(), false);
+  std::vector<Finding> findings;
+  for (auto& [finding, key] : keyed) {
+    bool suppressed = false;
+    for (size_t b = 0; b < baseline_.size(); ++b) {
+      if (baseline_[b].rule == finding.rule && baseline_[b].key == key &&
+          !key.empty()) {
+        used[b] = true;
+        suppressed = true;
+      }
+    }
+    if (!suppressed) findings.push_back(std::move(finding));
+  }
+  for (size_t b = 0; b < baseline_.size(); ++b) {
+    if (used[b]) continue;
+    const BaselineEntry& entry = baseline_[b];
+    const std::string what =
+        entry.key.empty()
+            ? "malformed baseline line (want: rule-id key)"
+            : "baseline entry '" + entry.rule + " " + entry.key +
+                  "' matches no current finding; delete it (the exception "
+                  "it excused is gone)";
+    findings.push_back(
+        Finding{baseline_path_.empty() ? "<baseline>" : baseline_path_,
+                entry.line, "stale-baseline", what});
+  }
+
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              if (a.rule != b.rule) return a.rule < b.rule;
+              return a.message < b.message;
+            });
+  findings.erase(std::unique(findings.begin(), findings.end(),
+                             [](const Finding& a, const Finding& b) {
+                               return a.file == b.file && a.line == b.line &&
+                                      a.rule == b.rule &&
+                                      a.message == b.message;
+                             }),
+                 findings.end());
+  return findings;
+}
+
+}  // namespace shadoop::analyze

@@ -1,0 +1,79 @@
+#ifndef SHADOOP_TOOLS_ANALYZE_ANALYZER_H_
+#define SHADOOP_TOOLS_ANALYZE_ANALYZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analyze/source_index.h"
+#include "lint/lint_engine.h"
+
+/// Cross-TU determinism and architecture analyzer (DESIGN.md §16).
+///
+/// Two whole-tree analyses over the SourceIndex, sharing the lint
+/// engine's finding format, allow-escape convention and CI-annotation
+/// contract (`file:line: rule-id: message`):
+///
+///   1. determinism-taint — seeds a sink set (wall-clock reads,
+///      nondeterministic seeds, unordered-container iteration) and
+///      propagates reachability over the call graph from the query-path
+///      entry modules (core/catalog/optimizer/pigeon/server). Any
+///      query-path function that transitively reaches a sink outside
+///      the allowlisted modules is a finding whose message prints the
+///      full call chain. This subsumes the retired path-scoped
+///      `server-wall-clock` / `optimizer-wall-clock` lint rules with
+///      one analysis that also sees indirect reads.
+///   2. layering — the declared layer DAG (§16.3) checked against the
+///      include graph, plus file-level include-cycle detection.
+///
+/// Pre-existing, deliberate exceptions live in a checked-in baseline
+/// file keyed by stable identities (function, module pair, cycle), so
+/// an exception is explicit, reviewable, and fails the build again the
+/// moment its entry is deleted.
+namespace shadoop::analyze {
+
+/// One parsed baseline line: `rule-id key` (with '#' comments).
+struct BaselineEntry {
+  std::string rule;
+  std::string key;
+  int line = 0;  // 1-based line in the baseline file.
+};
+
+class Analyzer {
+ public:
+  Analyzer();
+
+  /// The analyzer's rule registry, mirroring the lint engine's: every
+  /// id here must have a DESIGN.md documentation row (enforced by the
+  /// meta-test in tests/analyze_test.cc).
+  const std::vector<lint::RuleInfo>& rules() const { return rules_; }
+
+  /// Adds one in-memory file (fixture trees in tests) or a whole tree.
+  void AddFile(std::string_view path, std::string_view contents) {
+    index_.AddFile(path, contents);
+  }
+  bool AddTree(const std::string& root) { return index_.AddTree(root); }
+
+  /// Parses baseline `rule-id key` lines. `path` labels stale-baseline
+  /// findings. Returns false (with a usage finding from Run()) on a
+  /// malformed line.
+  void LoadBaseline(std::string_view path, std::string_view contents);
+
+  const SourceIndex& index() const { return index_; }
+
+  /// Runs both analyses and returns findings sorted by
+  /// (file, line, rule), after subtracting baselined exceptions and
+  /// adding a `stale-baseline` finding for every entry that no longer
+  /// matches anything.
+  std::vector<lint::Finding> Run() const;
+
+ private:
+  SourceIndex index_;
+  std::vector<lint::RuleInfo> rules_;
+  std::string baseline_path_;
+  std::vector<BaselineEntry> baseline_;
+};
+
+}  // namespace shadoop::analyze
+
+#endif  // SHADOOP_TOOLS_ANALYZE_ANALYZER_H_

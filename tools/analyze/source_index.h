@@ -1,0 +1,98 @@
+#ifndef SHADOOP_TOOLS_ANALYZE_SOURCE_INDEX_H_
+#define SHADOOP_TOOLS_ANALYZE_SOURCE_INDEX_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// Lightweight cross-TU C++ indexer (DESIGN.md §16).
+///
+/// The determinism lint (tools/lint) is per-line: it can ban a
+/// wall-clock token on the line it appears, but it cannot see a
+/// Stopwatch read reached *transitively* through a helper, and it knows
+/// nothing about the include graph the architecture depends on. This
+/// indexer extracts just enough structure for whole-tree analyses:
+///
+///   - per file: the `#include` edges (with line numbers) and the
+///     comment/string-blanked source text;
+///   - per function definition: its (qualified) name, body line span,
+///     and every call site inside the body.
+///
+/// It is a tokenizer-level heuristic, not a compiler: template
+/// metaprogramming, overload sets and macros are over-approximated
+/// (calls resolve by name, every same-named definition is a candidate
+/// callee). For taint analysis an over-approximation is the safe
+/// direction — a spurious edge can only surface a finding to triage,
+/// never hide one.
+namespace shadoop::analyze {
+
+/// A call site inside a function body. `qualified` is filled when the
+/// call was written with an explicit `A::B(` qualifier.
+struct CallSite {
+  std::string name;
+  std::string qualified;
+  int line = 0;  // 1-based.
+};
+
+/// One function (or method/constructor) *definition*.
+struct FunctionInfo {
+  std::string name;       // Unqualified: "RunAdmitted".
+  std::string qualified;  // As written / class-scoped: "JobRunner::RunAdmitted".
+  int file = -1;          // Index into SourceIndex::files().
+  int line = 0;           // 1-based line of the signature.
+  int body_begin = 0;     // 1-based line of the opening '{'.
+  int body_end = 0;       // 1-based line of the matching '}'.
+  std::vector<CallSite> calls;
+};
+
+struct IncludeEdge {
+  std::string spec;  // The path between the quotes/brackets.
+  bool quoted = false;
+  int line = 0;  // 1-based.
+};
+
+struct FileInfo {
+  std::string path;       // As given, normalized to forward slashes.
+  std::string repo_path;  // Repo-relative ("src/core/knn.cc") for keys.
+  std::string module;     // "core" for src/core/..., "tools/lint", "bench".
+  bool in_src = false;    // True when repo_path starts with "src/".
+  std::vector<std::string> raw;   // Raw source lines.
+  std::vector<std::string> code;  // Comment/string-blanked lines.
+  std::vector<IncludeEdge> includes;
+  std::vector<int> functions;  // Indices into SourceIndex::functions().
+};
+
+/// Strips a path down to its repo-relative form by searching for the
+/// last known top-level segment ("src/", "tools/", "bench/", ...), so
+/// absolute paths from ctest and relative fixture paths key identically.
+std::string RepoRelative(std::string_view path);
+
+/// The module a repo-relative path belongs to: "core" under src/,
+/// "tools/lint" / "bench" / "tests" outside it, "" when unknown.
+std::string ModuleOf(std::string_view repo_path);
+
+class SourceIndex {
+ public:
+  /// Indexes one in-memory file (fixture trees in tests use this).
+  void AddFile(std::string_view path, std::string_view contents);
+
+  /// Indexes every .h/.hpp/.cc/.cpp under `root` (recursively, sorted
+  /// path order). Returns false when the tree cannot be walked.
+  bool AddTree(const std::string& root);
+
+  const std::vector<FileInfo>& files() const { return files_; }
+  const std::vector<FunctionInfo>& functions() const { return functions_; }
+
+  /// Resolves an include spec from `from_file` to an indexed file id,
+  /// or -1. Quoted includes resolve against src/, tools/, the including
+  /// file's directory, and finally by unique path suffix.
+  int ResolveInclude(int from_file, const IncludeEdge& edge) const;
+
+ private:
+  std::vector<FileInfo> files_;
+  std::vector<FunctionInfo> functions_;
+};
+
+}  // namespace shadoop::analyze
+
+#endif  // SHADOOP_TOOLS_ANALYZE_SOURCE_INDEX_H_

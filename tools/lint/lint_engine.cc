@@ -192,14 +192,27 @@ using RuleFn = void (*)(const FileView&, const RuleInfo&,
 
 struct RuleImpl {
   RuleInfo info;
-  std::vector<std::string> exempt_path_suffixes;
-  /// When non-empty, the rule applies *only* to files whose normalized
-  /// path contains one of these substrings — scoped rules that harden a
-  /// single subsystem (e.g. the serving tier) without touching the rest
-  /// of the tree.
-  std::vector<std::string> restrict_path_substrings;
+  /// Paths where the rule does not apply. An entry ending in '/' is a
+  /// directory exemption and matches anywhere in the path ("bench/"
+  /// exempts the whole bench harness); any other entry matches as a
+  /// path suffix ("common/stopwatch.h", "_main.cc").
+  std::vector<std::string> exempt_paths;
   RuleFn fn;
 };
+
+bool PathExempt(const std::string& path,
+                const std::vector<std::string>& exemptions) {
+  for (const std::string& entry : exemptions) {
+    if (!entry.empty() && entry.back() == '/') {
+      if (path.find(entry) != std::string::npos || path.rfind(entry, 0) == 0) {
+        return true;
+      }
+    } else if (EndsWith(path, entry)) {
+      return true;
+    }
+  }
+  return false;
+}
 
 void BannedClockRule(const FileView& view, const RuleInfo& rule,
                      std::vector<Finding>* findings) {
@@ -456,47 +469,22 @@ void SizeDependentSeedRule(const FileView& view, const RuleInfo& rule,
   }
 }
 
-/// Path-scoped wall-clock token ban, shared by the serving tier and the
-/// optimizer: src/server/ reports *simulated* latency (p50/p99 of
-/// modeled JobCost time) and src/optimizer/ prices plans from simulated
-/// charges only, so a single wall-clock read leaking into either would
-/// make saturation benchmarks and plan choices machine-dependent.
-/// Stopwatch and the wall_ms fields are legitimate elsewhere (bench
-/// harness wall-clock reporting); here they are banned outright. Blanked
-/// string literals mean a quoted #include path cannot be matched, but
-/// using a Stopwatch or reading a wall_ms field always names the token
-/// in code, which is what fires.
-void WallClockTokenRule(const FileView& view, const RuleInfo& rule,
-                        std::vector<Finding>* findings) {
-  static const char* kTokens[] = {"Stopwatch", "wall_ms"};
-  for (size_t i = 0; i < view.code.size(); ++i) {
-    for (const char* token : kTokens) {
-      if (!TokenHits(view.code[i], token).empty()) {
-        AddFinding(view, i, rule, findings);
-      }
-    }
-  }
-}
-
 const std::vector<RuleImpl>& RuleRegistry() {
   static const std::vector<RuleImpl>* kRules = new std::vector<RuleImpl>{
       {{"banned-clock",
         "wall-clock read in library code; Stopwatch (common/stopwatch.h) "
         "and simulated time are the only clocks — real time breaks "
         "run-to-run determinism"},
-       {"common/stopwatch.h"},
-       {},
+       {"common/stopwatch.h", "bench/"},
        &BannedClockRule},
       {{"banned-random",
         "nondeterministic randomness; draw from an explicitly seeded "
         "shadoop::Random (common/random.h) so runs reproduce"},
        {"common/random.h", "common/random.cc"},
-       {},
        &BannedRandomRule},
       {{"unordered-iteration",
         "iteration over a hash container; its order feeds emits and "
         "counters — use an ordered container or a sorted snapshot"},
-       {},
        {},
        &UnorderedIterationRule},
       {{"naked-mutex",
@@ -504,18 +492,16 @@ const std::vector<RuleImpl>& RuleRegistry() {
         "(common/thread_annotations.h) so Clang thread-safety analysis "
         "sees the lock"},
        {},
-       {},
        &NakedMutexRule},
       {{"iostream-include",
-        "<iostream> in library code; log through common/logging.h"},
-       {},
-       {},
+        "<iostream> in library code; log through common/logging.h "
+        "(CLI mains and the bench harness print by design)"},
+       {"_main.cc", "bench/"},
        &IostreamIncludeRule},
       {{"banned-float-accum",
         "float in library code; geometry accumulation is double-only — "
         "float rounding shifts MBRs, cell boundaries and dedup reference "
         "points between runs and platforms"},
-       {},
        {},
        &BannedFloatAccumRule},
       {{"unstable-sort-before-emit",
@@ -524,7 +510,6 @@ const std::vector<RuleImpl>& RuleRegistry() {
         "std::stable_sort (or a total tie-breaking comparator) before "
         "Emit/WriteOutput"},
        {},
-       {},
        &UnstableSortBeforeEmitRule},
       {{"size-dependent-seed",
         ".size() feeding a Random seed; a size-derived seed gives equal-"
@@ -532,22 +517,7 @@ const std::vector<RuleImpl>& RuleRegistry() {
         "the data grows — seed from an explicit constant or a stable "
         "identity"},
        {},
-       {},
        &SizeDependentSeedRule},
-      {{"server-wall-clock",
-        "wall-clock artifact in the serving tier; src/server/ computes "
-        "simulated latency only — Stopwatch and wall_ms stay out so "
-        "p50/p99 reproduce across machines and reruns"},
-       {},
-       {"src/server/"},
-       &WallClockTokenRule},
-      {{"optimizer-wall-clock",
-        "wall-clock artifact in the planner; src/optimizer/ prices plans "
-        "from simulated charges only — Stopwatch and wall_ms stay out so "
-        "identical inputs pick identical plans on every machine"},
-       {},
-       {"src/optimizer/"},
-       &WallClockTokenRule},
   };
   return *kRules;
 }
@@ -574,21 +544,7 @@ std::vector<Finding> Linter::LintFile(std::string_view path,
 
   std::vector<Finding> findings;
   for (const RuleImpl& rule : RuleRegistry()) {
-    const bool exempt =
-        std::any_of(rule.exempt_path_suffixes.begin(),
-                    rule.exempt_path_suffixes.end(),
-                    [&](const std::string& suffix) {
-                      return EndsWith(view.path, suffix);
-                    });
-    if (exempt) continue;
-    const bool in_scope =
-        rule.restrict_path_substrings.empty() ||
-        std::any_of(rule.restrict_path_substrings.begin(),
-                    rule.restrict_path_substrings.end(),
-                    [&](const std::string& substring) {
-                      return view.path.find(substring) != std::string::npos;
-                    });
-    if (!in_scope) continue;
+    if (PathExempt(view.path, rule.exempt_paths)) continue;
     rule.fn(view, rule.info, &findings);
   }
 

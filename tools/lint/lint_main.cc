@@ -1,6 +1,6 @@
 // CLI over the determinism lint engine (DESIGN.md §11).
 //
-//   spatial_lint [path...]     lint trees/files (default: src)
+//   spatial_lint [path...]     lint trees/files (default: src tools bench)
 //   spatial_lint --rules       list the rule registry
 //
 // Exit codes: 0 clean, 1 findings, 2 usage error. Findings print as
@@ -29,7 +29,8 @@ int main(int argc, char** argv) {
     if (arg == "--help" || arg == "-h") {
       std::cout << "usage: spatial_lint [--rules] [path...]\n"
                    "lints .h/.hpp/.cc/.cpp files for determinism and "
-                   "lock-discipline violations (default path: src)\n";
+                   "lock-discipline violations (default paths: src tools "
+                   "bench)\n";
       return 0;
     }
     if (arg.rfind("--", 0) == 0) {
@@ -38,7 +39,7 @@ int main(int argc, char** argv) {
     }
     paths.push_back(arg);
   }
-  if (paths.empty()) paths.push_back("src");
+  if (paths.empty()) paths = {"src", "tools", "bench"};
 
   shadoop::lint::Linter linter;
   std::vector<shadoop::lint::Finding> findings;
